@@ -1,0 +1,121 @@
+// mheta-emulate runs a benchmark application on an emulated heterogeneous
+// cluster and reports the actual (virtual) execution time next to MHETA's
+// prediction — one row of Figures 10/11.
+//
+// Usage:
+//
+//	mheta-emulate -app jacobi -config HY1
+//	mheta-emulate -app rna -config DC -dist 512,512,640,640,384,384,512,512
+//	mheta-emulate -app cg -config IO -spectrum 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"mheta"
+	"mheta/internal/dist"
+	"mheta/internal/exec"
+	"mheta/internal/mpi"
+	"mheta/internal/stats"
+	"mheta/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mheta-emulate: ")
+	appName := flag.String("app", "jacobi", "application: jacobi, jacobi-pf, cg, lanczos, rna")
+	configName := flag.String("config", "HY1", "cluster configuration: DC, IO, HY1, HY2")
+	distStr := flag.String("dist", "", "explicit distribution (comma separated); default Blk")
+	spectrum := flag.Int("spectrum", 0, "sweep the Figure 8 spectrum with this many steps per leg instead of a single run")
+	gantt := flag.Int("gantt", 0, "render a per-rank timeline of this width after a single run (0 disables)")
+	seed := flag.Uint64("seed", 42, "noise seed")
+	flag.Parse()
+
+	app, err := buildApp(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := mheta.NamedCluster(*configName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := mheta.Instrument(spec, app, *seed)
+	if err != nil {
+		log.Fatalf("instrument: %v", err)
+	}
+
+	if *spectrum > 0 {
+		var bpe int64
+		for _, v := range app.Prog.DistributedVars() {
+			bpe += v.ElemBytes
+		}
+		fmt.Printf("%-12s %10s %10s %8s\n", "position", "actual(s)", "pred(s)", "diff%")
+		for _, pt := range dist.Spectrum(app.Prog.GlobalElems(), spec, bpe, *spectrum) {
+			report(spec, app, model, pt.Dist, pt.Label, *seed)
+		}
+		return
+	}
+
+	d := mheta.BlockDistribution(app, spec)
+	if *distStr != "" {
+		d = d[:0]
+		for _, f := range strings.Split(*distStr, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("bad -dist entry %q: %v", f, err)
+			}
+			d = append(d, v)
+		}
+		if err := d.Validate(app.Prog.GlobalElems()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%-12s %10s %10s %8s\n", "dist", "actual(s)", "pred(s)", "diff%")
+	report(spec, app, model, d, "given", *seed)
+
+	if *gantt > 0 {
+		tr := trace.New()
+		w := mpi.NewWorld(spec, *seed^0xACDC, mheta.DefaultNoise)
+		if _, err := exec.Run(w, app, d, exec.Options{Trace: tr}); err != nil {
+			log.Fatalf("trace run: %v", err)
+		}
+		fmt.Print(tr.Gantt(spec.N(), *gantt))
+	}
+}
+
+func report(spec mheta.ClusterSpec, app *mheta.App, model *mheta.Model, d mheta.Distribution, label string, seed uint64) {
+	actual, err := mheta.RunActual(spec, app, d, seed^0xACDC)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	pred := model.Predict(d)
+	if label == "" {
+		label = "·"
+	}
+	fmt.Printf("%-12s %10.3f %10.3f %8.2f\n", label, actual, pred.Total,
+		stats.PercentDiff(pred.Total, actual)*100)
+}
+
+func buildApp(name string) (*mheta.App, error) {
+	switch name {
+	case "jacobi":
+		return mheta.Jacobi(mheta.JacobiDefaults()), nil
+	case "jacobi-pf":
+		cfg := mheta.JacobiDefaults()
+		cfg.Prefetch = true
+		return mheta.Jacobi(cfg), nil
+	case "cg":
+		return mheta.CG(mheta.CGDefaults()), nil
+	case "lanczos":
+		return mheta.Lanczos(mheta.LanczosDefaults()), nil
+	case "rna":
+		return mheta.RNA(mheta.RNADefaults()), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q", name)
+	}
+}

@@ -1,0 +1,139 @@
+// mheta-predict evaluates MHETA for a candidate distribution against a
+// saved parameter file.
+//
+// Usage:
+//
+//	mheta-predict -params jacobi-hy1.json -dist 512,512,640,640,384,384,512,512
+//	mheta-predict -params jacobi-hy1.json -collect jacobi:HY1   # produce the file first
+//
+// The -collect form runs the micro-benchmarks and the instrumented
+// iteration for a named app:config pair and writes the parameter file, so
+// the two invocations together reproduce the paper's pipeline end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"mheta"
+	"mheta/internal/core"
+	"mheta/internal/dist"
+	"mheta/internal/paramfile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mheta-predict: ")
+	paramsPath := flag.String("params", "", "parameter file (JSON, see internal/paramfile)")
+	distStr := flag.String("dist", "", "comma-separated GEN_BLOCK distribution (elements per node)")
+	collect := flag.String("collect", "", "collect parameters for app:config (apps: jacobi, jacobi-pf, cg, lanczos, rna; configs: DC, IO, HY1, HY2) and write them to -params")
+	seed := flag.Uint64("seed", 42, "noise seed for -collect")
+	detailed := flag.Bool("detailed", false, "print per-node and per-section breakdown")
+	flag.Parse()
+
+	if *paramsPath == "" {
+		log.Fatal("-params is required")
+	}
+
+	if *collect != "" {
+		parts := strings.SplitN(*collect, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("-collect wants app:config, got %q", *collect)
+		}
+		app, err := buildApp(parts[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := mheta.NamedCluster(parts[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		params, err := mheta.InstrumentParams(spec, app, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := paramfile.Save(*paramsPath, &params); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("collected parameters for %s on %s -> %s\n", parts[0], parts[1], *paramsPath)
+		if *distStr == "" {
+			return
+		}
+	}
+
+	params, err := paramfile.Load(*paramsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.NewModel(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var d dist.Distribution
+	if *distStr == "" {
+		d = dist.Block(totalOf(params), params.Nodes)
+		fmt.Printf("no -dist given; using Blk %v\n", d)
+	} else {
+		for _, f := range strings.Split(*distStr, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("bad -dist entry %q: %v", f, err)
+			}
+			d = append(d, v)
+		}
+		if len(d) != params.Nodes {
+			log.Fatalf("-dist has %d entries; parameter file describes %d nodes", len(d), params.Nodes)
+		}
+	}
+
+	pred := model.PredictDetailed(d)
+	fmt.Printf("program:        %s\n", params.Program)
+	fmt.Printf("distribution:   %v\n", d)
+	fmt.Printf("per iteration:  %.6fs\n", pred.PerIteration)
+	fmt.Printf("total (%d it):  %.6fs\n", params.Iterations, pred.Total)
+	if *detailed {
+		fmt.Printf("node times (s): ")
+		for _, t := range pred.NodeTimes {
+			fmt.Printf("%8.4f", t)
+		}
+		fmt.Println()
+		for si, row := range pred.SectionTimes {
+			fmt.Printf("after section %d (%s): ", si, params.Sections[si].Name)
+			for _, t := range row {
+				fmt.Printf("%8.4f", t)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func totalOf(p core.Params) int {
+	t := 0
+	for _, b := range p.BaseDist {
+		t += b
+	}
+	return t
+}
+
+func buildApp(name string) (*mheta.App, error) {
+	switch name {
+	case "jacobi":
+		return mheta.Jacobi(mheta.JacobiDefaults()), nil
+	case "jacobi-pf":
+		cfg := mheta.JacobiDefaults()
+		cfg.Prefetch = true
+		return mheta.Jacobi(cfg), nil
+	case "cg":
+		return mheta.CG(mheta.CGDefaults()), nil
+	case "lanczos":
+		return mheta.Lanczos(mheta.LanczosDefaults()), nil
+	case "rna":
+		return mheta.RNA(mheta.RNADefaults()), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (want jacobi, jacobi-pf, cg, lanczos or rna)", name)
+	}
+}

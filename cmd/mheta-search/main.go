@@ -1,0 +1,86 @@
+// mheta-search finds an efficient data distribution for an application on
+// a heterogeneous cluster using MHETA as the evaluation function — the
+// role the model plays inside the paper's runtime system (§1, §5.3).
+//
+// Usage:
+//
+//	mheta-search -app jacobi -config HY1 -alg gbs
+//	mheta-search -app lanczos -config HY2 -alg all -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mheta"
+	"mheta/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mheta-search: ")
+	appName := flag.String("app", "jacobi", "application: jacobi, jacobi-pf, cg, lanczos, rna")
+	configName := flag.String("config", "HY1", "cluster configuration: DC, IO, HY1, HY2")
+	alg := flag.String("alg", "gbs", "algorithm: gbs, genetic, annealing, random, all")
+	verify := flag.Bool("verify", false, "run the found distribution on the emulator and report the actual time")
+	seed := flag.Uint64("seed", 42, "noise seed")
+	flag.Parse()
+
+	app, err := buildApp(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := mheta.NamedCluster(*configName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := mheta.Instrument(spec, app, *seed)
+	if err != nil {
+		log.Fatalf("instrument: %v", err)
+	}
+
+	algs := []string{*alg}
+	if *alg == "all" {
+		algs = []string{mheta.AlgGBS, mheta.AlgGenetic, mheta.AlgAnnealing, mheta.AlgRandom}
+	}
+
+	blk := mheta.BlockDistribution(app, spec)
+	blkPred := model.Predict(blk).Total
+	fmt.Printf("%-10s %10s %8s  %s\n", "algorithm", "pred(s)", "evals", "distribution")
+	fmt.Printf("%-10s %10.3f %8s  %v\n", "blk", blkPred, "-", blk)
+	for _, a := range algs {
+		res, err := mheta.SearchWith(a, spec, app, model, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.3f %8d  %v\n", res.Algorithm, res.Time, res.Evaluations, res.Best)
+		if *verify {
+			actual, err := mheta.RunActual(spec, app, res.Best, *seed^0xACDC)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %10.3f actual (model diff %.2f%%)\n", "  verify", actual,
+				stats.PercentDiff(res.Time, actual)*100)
+		}
+	}
+}
+
+func buildApp(name string) (*mheta.App, error) {
+	switch name {
+	case "jacobi":
+		return mheta.Jacobi(mheta.JacobiDefaults()), nil
+	case "jacobi-pf":
+		cfg := mheta.JacobiDefaults()
+		cfg.Prefetch = true
+		return mheta.Jacobi(cfg), nil
+	case "cg":
+		return mheta.CG(mheta.CGDefaults()), nil
+	case "lanczos":
+		return mheta.Lanczos(mheta.LanczosDefaults()), nil
+	case "rna":
+		return mheta.RNA(mheta.RNADefaults()), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q", name)
+	}
+}

@@ -1,0 +1,71 @@
+package mheta_test
+
+import (
+	"fmt"
+
+	"mheta"
+)
+
+// Example reproduces the paper's core workflow: instrument one iteration
+// of an application on a heterogeneous cluster, then predict candidate
+// data distributions without running them.
+func Example() {
+	spec := mheta.MustNamedCluster("HY1")
+	cfg := mheta.JacobiDefaults()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 768, 96, 4 // demo scale
+	app := mheta.Jacobi(cfg)
+
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		panic(err)
+	}
+	blk := mheta.BlockDistribution(app, spec)
+	pred := model.Predict(blk)
+	fmt.Printf("Blk predicted > 0: %v\n", pred.Total > 0)
+	fmt.Printf("per-node times: %d entries\n", len(pred.NodeTimes))
+	// Output:
+	// Blk predicted > 0: true
+	// per-node times: 8 entries
+}
+
+// ExampleSearchGBS shows the model driving a distribution search — the
+// role MHETA plays inside the paper's runtime system.
+func ExampleSearchGBS() {
+	spec := mheta.MustNamedCluster("HY2")
+	cfg := mheta.JacobiDefaults()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 768, 96, 4
+	app := mheta.Jacobi(cfg)
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		panic(err)
+	}
+	blk := model.Predict(mheta.BlockDistribution(app, spec)).Total
+	res := mheta.SearchGBS(spec, app, model)
+	fmt.Printf("improved on Blk: %v\n", res.Time < blk)
+	fmt.Printf("distribution is valid: %v\n", res.Best.Validate(cfg.Rows) == nil)
+	// Output:
+	// improved on Blk: true
+	// distribution is valid: true
+}
+
+// ExampleRunActual verifies a prediction against an actual emulated run.
+func ExampleRunActual() {
+	spec := mheta.MustNamedCluster("DC")
+	cfg := mheta.RNADefaults()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 512, 128, 2
+	app := mheta.RNA(cfg)
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		panic(err)
+	}
+	d := mheta.BlockDistribution(app, spec)
+	actual, err := mheta.RunActual(spec, app, d, 7)
+	if err != nil {
+		panic(err)
+	}
+	pred := model.Predict(d).Total
+	ratio := pred / actual
+	fmt.Printf("prediction within 10%% of actual: %v\n", ratio > 0.9 && ratio < 1.1)
+	// Output:
+	// prediction within 10% of actual: true
+}

@@ -1,0 +1,73 @@
+// heterogeneous-jacobi sweeps the Figure 8 distribution spectrum for
+// out-of-core Jacobi on the HY1 hybrid configuration — the experiment
+// behind the paper's §5.3 observation that Jacobi's best distribution on
+// HY1 lies strictly *between* the I-C/Bal and Bal anchors and beats Bal
+// by a significant margin, which no static rule would find.
+//
+// Run with: go run ./examples/heterogeneous-jacobi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mheta"
+	"mheta/internal/dist"
+	"mheta/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := mheta.MustNamedCluster("HY1")
+	cfg := mheta.JacobiDefaults()
+	cfg.Rows, cfg.Iterations = 3072, 30
+	app := mheta.Jacobi(cfg)
+
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		log.Fatalf("instrument: %v", err)
+	}
+
+	var bpe int64
+	for _, v := range app.Prog.DistributedVars() {
+		bpe += v.ElemBytes
+	}
+	points := dist.Spectrum(app.Prog.GlobalElems(), spec, bpe, 4)
+
+	fmt.Printf("%-12s %10s %10s %8s\n", "position", "actual(s)", "pred(s)", "diff%")
+	bestIdx, bestTime := 0, 0.0
+	var balTime float64
+	for i, pt := range points {
+		actual, err := mheta.RunActual(spec, app, pt.Dist, 7)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		pred := model.Predict(pt.Dist)
+		label := pt.Label
+		if label == "" {
+			label = fmt.Sprintf("leg%d+%.2f", pt.Leg, pt.T)
+		}
+		fmt.Printf("%-12s %10.3f %10.3f %8.2f\n", label, actual, pred.Total,
+			stats.PercentDiff(pred.Total, actual)*100)
+		if i == 0 || actual < bestTime {
+			bestIdx, bestTime = i, actual
+		}
+		if pt.Label == "Bal" {
+			balTime = actual
+		}
+	}
+	fmt.Printf("\nbest distribution: %s %v (%.3fs)\n",
+		pointLabel(points[bestIdx]), points[bestIdx].Dist, bestTime)
+	if balTime > 0 && bestTime < balTime {
+		fmt.Printf("…which is %.1f%% better than Bal (%.3fs) — cf. §5.3's 28%% observation\n",
+			(balTime-bestTime)/balTime*100, balTime)
+	}
+}
+
+func pointLabel(p dist.SpectrumPoint) string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("leg%d+%.2f", p.Leg, p.T)
+}

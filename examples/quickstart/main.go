@@ -1,0 +1,56 @@
+// Quickstart: the smallest end-to-end MHETA workflow.
+//
+// 1. Pick a Table 1 heterogeneous cluster (HY1).
+// 2. Build a benchmark application (Jacobi iteration).
+// 3. Instrument one iteration (micro-benchmarks + MPI-Jack hooks).
+// 4. Predict the execution time of two candidate distributions.
+// 5. Check the predictions against actual emulated runs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mheta"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := mheta.MustNamedCluster("HY1")
+	fmt.Printf("cluster %s: %d nodes, relative CPU powers ", spec.Name, spec.N())
+	for _, n := range spec.Nodes {
+		fmt.Printf("%.1f ", n.CPUPower)
+	}
+	fmt.Println()
+
+	cfg := mheta.JacobiDefaults()
+	cfg.Rows, cfg.Iterations = 2048, 20 // quick demo scale
+	app := mheta.Jacobi(cfg)
+
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		log.Fatalf("instrument: %v", err)
+	}
+
+	// Candidate 1: the naive block distribution.
+	blk := mheta.BlockDistribution(app, spec)
+	// Candidate 2: whatever GBS finds using the model.
+	found := mheta.SearchGBS(spec, app, model)
+
+	for _, c := range []struct {
+		name string
+		d    mheta.Distribution
+	}{{"Blk", blk}, {"GBS-found", found.Best}} {
+		pred := model.Predict(c.d)
+		actual, err := mheta.RunActual(spec, app, c.d, 7)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		fmt.Printf("%-10s dist=%v\n", c.name, c.d)
+		fmt.Printf("           predicted %.3fs, actual %.3fs\n", pred.Total, actual)
+	}
+	fmt.Printf("GBS spent %d model evaluations\n", found.Evaluations)
+}

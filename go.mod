@@ -1,0 +1,3 @@
+module mheta
+
+go 1.22

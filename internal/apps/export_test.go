@@ -1,0 +1,27 @@
+package apps
+
+import "mheta/internal/exec"
+
+// Test-only accessors for the external apps_test package.
+
+// CGNNZForTest exposes the true nonzero count of row i.
+func CGNNZForTest(cfg CGConfig, i int) int { return cgNNZ(cfg, i) }
+
+// CGRowEntriesForTest exposes row i's (column → value) map.
+func CGRowEntriesForTest(cfg CGConfig, i int) map[int]float64 {
+	row := cgRow(cfg, i)
+	out := make(map[int]float64)
+	for k := 0; k < cfg.cgSlots(); k++ {
+		col := f64(row, 2*k)
+		if col < 0 {
+			continue
+		}
+		out[int(col)] = f64(row, 2*k+1)
+	}
+	return out
+}
+
+// LanczosAlphasForTest and LanczosBetasForTest read the recorded
+// tridiagonal coefficients out of a lanczos state.
+func LanczosAlphasForTest(s exec.State) []float64 { return s.(*lanczosState).Alphas }
+func LanczosBetasForTest(s exec.State) []float64  { return s.(*lanczosState).Betas }

@@ -1,0 +1,132 @@
+package cluster
+
+// This file generates the families of emulated architectures the paper
+// sweeps: "We tested MHETA on seventeen and twelve emulated architecture
+// configurations for non-prefetching and prefetching applications,
+// respectively" (§5.1). The paper does not enumerate them beyond the four
+// of Table 1, so we generate a deterministic family spanning the same
+// axes: CPU-only heterogeneity (DC-like), I/O-only (IO-like), and hybrids
+// (HY-like), at eight nodes each.
+
+// Sweep17 returns the seventeen non-prefetching architectures: the four
+// named Table 1 configurations plus thirteen generated variants covering
+// the DC/IO/HY axes at different intensities.
+func Sweep17() []Spec {
+	specs := NamedAll()
+	specs = append(specs, dcVariants()...)
+	specs = append(specs, ioVariants()...)
+	specs = append(specs, hyVariants()...)
+	if len(specs) != 17 {
+		panic("cluster: Sweep17 must return exactly 17 specs")
+	}
+	return specs
+}
+
+// Sweep12 returns the twelve architectures used for the prefetching Jacobi
+// sweep: a subset of the seventeen that includes every configuration where
+// I/O matters (prefetching is irrelevant on purely CPU-skewed clusters).
+func Sweep12() []Spec {
+	all := Sweep17()
+	out := make([]Spec, 0, 12)
+	for _, s := range all {
+		if s.MemoryConstrained() {
+			out = append(out, s)
+		}
+	}
+	// Pad with hybrid-like CPU configurations if the filter came up short;
+	// with the current family it yields exactly 12.
+	if len(out) != 12 {
+		panic("cluster: Sweep12 must return exactly 12 specs")
+	}
+	return out
+}
+
+func dcVariants() []Spec {
+	var out []Spec
+	// Three DC-like variants: mild, steep, and alternating CPU skew.
+	mild := uniform("DC-mild", 8, defaultMem)
+	for i := range mild.Nodes {
+		mild.Nodes[i].CPUPower = 0.8 + 0.05*float64(i)
+	}
+	out = append(out, mild)
+
+	steep := uniform("DC-steep", 8, defaultMem)
+	for i := range steep.Nodes {
+		steep.Nodes[i].CPUPower = 0.4 + 0.3*float64(i)
+	}
+	out = append(out, steep)
+
+	alt := uniform("DC-alt", 8, defaultMem)
+	for i := range alt.Nodes {
+		if i%2 == 0 {
+			alt.Nodes[i].CPUPower = 0.6
+		} else {
+			alt.Nodes[i].CPUPower = 1.7
+		}
+	}
+	out = append(out, alt)
+	return out
+}
+
+func ioVariants() []Spec {
+	var out []Spec
+	// Four IO-like variants: a quarter/three-quarters split, uniformly
+	// small memories, one very slow disk, and mixed disk speeds.
+	quarter := uniform("IO-quarter", 8, defaultMem)
+	for i := 0; i < 2; i++ {
+		quarter.Nodes[i].MemoryBytes = smallMem
+		quarter.Nodes[i].DiskScale = 4.0
+	}
+	out = append(out, quarter)
+
+	// Every node equally memory constrained: I/O happens everywhere, but
+	// the cluster is homogeneous, so it is excluded from the prefetch
+	// sweep (which targets *heterogeneous* I/O pressure).
+	tight := uniform("IO-tight", 8, smallMem*2)
+	out = append(out, tight)
+
+	straggler := uniform("IO-straggler", 8, defaultMem)
+	straggler.Nodes[3].DiskScale = 6.0
+	straggler.Nodes[3].MemoryBytes = smallMem
+	out = append(out, straggler)
+
+	mixed := uniform("IO-mixed", 8, defaultMem)
+	scales := []float64{0.5, 1, 2, 4, 0.75, 1.5, 3, 1}
+	for i := range mixed.Nodes {
+		mixed.Nodes[i].DiskScale = scales[i]
+		if scales[i] >= 2 {
+			mixed.Nodes[i].MemoryBytes = smallMem * 2
+		}
+	}
+	out = append(out, mixed)
+	return out
+}
+
+func hyVariants() []Spec {
+	var out []Spec
+	// Six HY-like variants combining both axes at varied intensity.
+	for k := 0; k < 6; k++ {
+		s := uniform("HY-gen", 8, defaultMem)
+		s.Name = s.Name + string(rune('A'+k))
+		for i := range s.Nodes {
+			// CPU skew grows with k on the low ranks.
+			if i < 4 {
+				s.Nodes[i].CPUPower = 1.0 + (float64(i)-1.5)*0.15*float64(k+1)/3.0
+				if s.Nodes[i].CPUPower < 0.3 {
+					s.Nodes[i].CPUPower = 0.3
+				}
+			}
+			// I/O pressure on the high ranks, alternating small memory and
+			// slow disk by variant parity.
+			if i >= 4 {
+				if k%2 == 0 {
+					s.Nodes[i].MemoryBytes = smallMem * int64(1+k/2)
+				} else {
+					s.Nodes[i].DiskScale = 1.5 + float64(k)
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

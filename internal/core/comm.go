@@ -1,0 +1,184 @@
+package core
+
+// Communication modelling (§4.2.2). The equations are evaluated as
+// recurrences over per-node virtual finish times, which generalises the
+// two-node forms printed in the paper to n nodes the same way the
+// dissertation does: Twait compares when the message is "on route" from
+// the sender against the receiver's own progress (Equation 3 for nearest
+// neighbour, Equation 4 per tile for pipelines), and the section's
+// communication cost Tσ adds the send and receive overheads (Equation 5).
+//
+// The recurrences mirror the executor's wire protocol exactly — same send
+// ordering, same binomial reduction tree — so the only prediction error
+// left is what the paper has: measurement noise and the in-core
+// heuristic, not model-structure mismatch.
+
+// activeNodes collects the ranks with non-zero work, in rank order.
+// Nodes with empty blocks take no part in boundary or pipeline traffic
+// (they have no boundary to exchange) but do join reductions.
+func (m *Model) activeNodes(d []int) []int {
+	m.active = m.active[:0]
+	for p, w := range d {
+		if w > 0 {
+			m.active = append(m.active, p)
+		}
+	}
+	return m.active
+}
+
+// nearestNeighbor advances m.clock past a nearest-neighbour exchange:
+// every active node sends its boundary to its left then right active
+// neighbour, then receives from left then right (the executor's order).
+// The max(0, ...) of Equation 3 appears as the max between a node's own
+// send-completion time and the incoming message's arrival.
+func (m *Model) nearestNeighbor(s *SectionParams, d []int) {
+	act := m.activeNodes(d)
+	os := m.p.Net.SendCost(s.MsgBytes)
+	or := m.p.Net.RecvCost(s.MsgBytes)
+	wire := m.p.Net.Transfer(s.MsgBytes)
+
+	// Pass 1: when each node's sends complete. sendDone[i*2] would be
+	// overkill; we need "send to left done" and "send to right done" per
+	// active index. Reuse scratch: sendDone holds send-to-left, curTile
+	// holds send-to-right completion times (indexed by active position).
+	for i, p := range act {
+		t := m.clock[p] + m.busy[p]
+		if i > 0 {
+			t += os
+		}
+		m.sendDone[i] = t // after send to left (== base when no left)
+		if i < len(act)-1 {
+			t += os
+		}
+		m.curTile[i] = t // after send to right (== after-left when no right)
+	}
+	// Pass 2: receives. A node's receive from the left matches its left
+	// neighbour's send *to the right* and vice versa.
+	for i, p := range act {
+		t := m.curTile[i]
+		if i > 0 {
+			arrival := m.curTile[i-1] + wire // left neighbour's send-to-right
+			if arrival > t {
+				t = arrival // Twait > 0: blocked, Equation 3
+			}
+			t += or
+		}
+		if i < len(act)-1 {
+			arrival := m.sendDone[i+1] + wire // right neighbour's send-to-left
+			if arrival > t {
+				t = arrival
+			}
+			t += or
+		}
+		m.clock[p] = t
+	}
+	// Inactive nodes: no stages, no communication.
+}
+
+// pipeline advances m.clock past a pipelined section (Equation 4): the
+// chain of active nodes processes Tiles tiles; node i receives tile k's
+// boundary from node i−1, processes its share (busy/Tiles — every tile
+// covers the same rows over a 1/Tiles column strip), and forwards to node
+// i+1. The head never blocks; downstream waits are the recursive Twait of
+// Equation 4, realised as max(own progress, upstream arrival).
+func (m *Model) pipeline(s *SectionParams, d []int) {
+	act := m.activeNodes(d)
+	if len(act) == 0 {
+		return
+	}
+	os := m.p.Net.SendCost(s.MsgBytes)
+	or := m.p.Net.RecvCost(s.MsgBytes)
+	wire := m.p.Net.Transfer(s.MsgBytes)
+	tiles := s.Tiles
+
+	// prevTile[k] holds the upstream node's send-completion time for tile
+	// k; curTile[k] is being filled for the current node.
+	if len(m.prevTile) < tiles {
+		m.prevTile = make([]float64, tiles)
+		m.curTile = make([]float64, tiles)
+	}
+	for i, p := range act {
+		busyTile := m.busy[p] / float64(tiles)
+		t := m.clock[p]
+		for k := 0; k < tiles; k++ {
+			if i > 0 {
+				arrival := m.prevTile[k] + wire
+				if arrival > t {
+					t = arrival // Twait(p,m,k) > 0
+				}
+				t += or
+			}
+			t += busyTile
+			if i < len(act)-1 {
+				t += os
+				m.curTile[k] = t
+			}
+		}
+		m.clock[p] = t
+		m.prevTile, m.curTile = m.curTile, m.prevTile
+	}
+}
+
+// reduceTree advances m.clock past a binomial-tree reduction rooted at
+// rank 0, optionally followed by the broadcast that makes it an
+// all-reduce. This stands in for the dissertation's reduction equations:
+// each tree edge costs os on the sender, wire in flight, and or on the
+// receiver, entered at whatever time each node reaches the reduction.
+func (m *Model) reduceTree(bytes int64, allreduce bool) {
+	n := m.p.Nodes
+	os := m.p.Net.SendCost(bytes)
+	or := m.p.Net.RecvCost(bytes)
+	wire := m.p.Net.Transfer(bytes)
+
+	// Reduce phase. At level mask, ranks whose lowest set bit is mask
+	// send to rank−mask; ranks with rel&(2·mask−1)==0 receive from
+	// rank+mask. Levels ascend, matching the executor's loop.
+	arrival := m.sendDone[:n] // scratch: arrival[p] = when p's message reaches its parent
+	for mask := 1; mask < n; mask <<= 1 {
+		for p := 0; p < n; p++ {
+			if p&mask != 0 && p&(mask-1) == 0 {
+				m.clock[p] += os
+				arrival[p] = m.clock[p] + wire
+			}
+		}
+		for p := 0; p < n; p++ {
+			if p&(2*mask-1) == 0 && p+mask < n {
+				a := arrival[p+mask]
+				if a > m.clock[p] {
+					m.clock[p] = a
+				}
+				m.clock[p] += or
+			}
+		}
+	}
+	if !allreduce {
+		return
+	}
+	// Broadcast phase: each node receives from the parent obtained by
+	// clearing its lowest set bit, then forwards to children in
+	// descending-mask order, matching mpi.Bcast.
+	highest := 1
+	for highest<<1 < n {
+		highest <<= 1
+	}
+	for p := 0; p < n; p++ { // parents always precede children numerically
+		start := highest
+		if p != 0 {
+			start = lowbit(p) >> 1
+		}
+		for c := start; c >= 1; c >>= 1 {
+			child := p + c
+			if child >= n {
+				continue
+			}
+			m.clock[p] += os
+			a := m.clock[p] + wire
+			if a > m.clock[child] {
+				m.clock[child] = a
+			}
+			m.clock[child] += or
+		}
+	}
+}
+
+func lowbit(x int) int { return x & (-x) }

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"mheta/internal/memsim"
+	"mheta/internal/program"
+)
+
+// Model is a compiled MHETA instance: validated parameters plus
+// preallocated scratch space so Predict can run inside tight search loops
+// without allocating (the paper evaluates thousands of candidate
+// distributions per search).
+type Model struct {
+	p Params
+	// stageVar[si][sti] is the index into p.DistVars of the stage's
+	// streamed variable, or -1 — compiled once so Predict does no string
+	// lookups.
+	stageVar [][]int
+	// scratch, reused across Predict calls (a Model is not safe for
+	// concurrent use; clone one per goroutine with Clone).
+	clock    []float64
+	busy     []float64
+	sendDone []float64
+	prevTile []float64
+	curTile  []float64
+	active   []int
+	layouts  [][]memsim.Layout // [node][distVar]
+	// kShared is the predicted shared-disk contention factor for the
+	// distribution under evaluation (1 for private disks), refreshed by
+	// residency().
+	kShared float64
+}
+
+// NewModel validates params and compiles them into a Model.
+func NewModel(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Nodes
+	varIdx := make(map[string]int, len(p.DistVars))
+	for i, v := range p.DistVars {
+		varIdx[v.Name] = i
+	}
+	stageVar := make([][]int, len(p.Sections))
+	for si, s := range p.Sections {
+		stageVar[si] = make([]int, len(s.Stages))
+		for sti, st := range s.Stages {
+			stageVar[si][sti] = -1
+			if st.StreamVar != "" {
+				idx, ok := varIdx[st.StreamVar]
+				if !ok {
+					return nil, fmt.Errorf("core: section %d stage %d streams unknown variable %q", si, sti, st.StreamVar)
+				}
+				stageVar[si][sti] = idx
+			}
+		}
+	}
+	layouts := make([][]memsim.Layout, n)
+	for i := range layouts {
+		layouts[i] = make([]memsim.Layout, len(p.DistVars))
+	}
+	return &Model{
+		p:        p,
+		stageVar: stageVar,
+		clock:    make([]float64, n),
+		busy:     make([]float64, n),
+		sendDone: make([]float64, n),
+		prevTile: make([]float64, n),
+		curTile:  make([]float64, n),
+		active:   make([]int, 0, n),
+		layouts:  layouts,
+	}, nil
+}
+
+// MustModel is NewModel for parameters known to be valid; it panics on
+// error.
+func MustModel(p Params) *Model {
+	m, err := NewModel(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the model's parameter set.
+func (m *Model) Params() Params { return m.p }
+
+// Clone returns an independent Model sharing the (immutable) parameters,
+// for concurrent searches.
+func (m *Model) Clone() *Model { return MustModel(m.p) }
+
+// Prediction is the output of one model evaluation.
+type Prediction struct {
+	// PerIteration is the predicted wall time of one steady-state
+	// iteration. The recurrences evaluate TA = Σ TΠ (§4.2.3) for two
+	// consecutive iterations without resetting the per-node clocks; the
+	// difference of the two makespans is the steady-state period, which
+	// accounts for the skew the ending collective leaves between nodes
+	// (the root exits a reduction tree earlier than the leaves and
+	// starts the next iteration's critical path sooner).
+	PerIteration float64
+	// NodeTimes[p] is node p's per-iteration finish time TA(p).
+	NodeTimes []float64
+	// Total is PerIteration × Iterations.
+	Total float64
+	// SectionTimes[s][p] is node p's finish time after section s,
+	// cumulative within the iteration (diagnostic; nil unless requested
+	// via PredictDetailed).
+	SectionTimes [][]float64
+}
+
+// Predict evaluates the model for the candidate distribution d (elements
+// per node) and returns the prediction. This is the hot path: pure
+// arithmetic over the parameter set, no emulation.
+func (m *Model) Predict(d []int) Prediction {
+	return m.predict(d, false)
+}
+
+// PredictDetailed is Predict plus per-section cumulative times for
+// diagnostics and tests.
+func (m *Model) PredictDetailed(d []int) Prediction {
+	return m.predict(d, true)
+}
+
+func (m *Model) predict(d []int, detailed bool) Prediction {
+	n := m.p.Nodes
+	if len(d) != n {
+		panic(fmt.Sprintf("core: distribution has %d entries, want %d", len(d), n))
+	}
+	m.residency(d)
+	for p := 0; p < n; p++ {
+		m.clock[p] = 0
+	}
+	var sectionTimes [][]float64
+	var nodeTimes []float64
+
+	// iterate evaluates one iteration's sections with the given compute
+	// scale, chaining clocks, and returns the makespan so far.
+	iterate := func(iter int, scale float64) float64 {
+		for si := range m.p.Sections {
+			s := &m.p.Sections[si]
+			// Busy time per node: all stages, all tiles (Tp of §4.2.1).
+			for p := 0; p < n; p++ {
+				m.busy[p] = m.sectionBusy(si, s, p, d[p], scale)
+			}
+			switch s.Comm {
+			case program.CommNone:
+				for p := 0; p < n; p++ {
+					m.clock[p] += m.busy[p]
+				}
+			case program.CommNearestNeighbor:
+				m.nearestNeighbor(s, d)
+			case program.CommPipeline:
+				m.pipeline(s, d)
+			case program.CommReduction:
+				for p := 0; p < n; p++ {
+					m.clock[p] += m.busy[p]
+				}
+				m.reduceTree(s.ReduceBytes, true)
+			default:
+				panic(fmt.Sprintf("core: unsupported comm pattern %v", s.Comm))
+			}
+			if detailed && iter == 0 {
+				row := make([]float64, n)
+				copy(row, m.clock)
+				sectionTimes = append(sectionTimes, row)
+			}
+		}
+		mk := 0.0
+		for p := 0; p < n; p++ {
+			if m.clock[p] > mk {
+				mk = m.clock[p]
+			}
+		}
+		if iter == 0 {
+			nodeTimes = make([]float64, n)
+			copy(nodeTimes, m.clock)
+		}
+		return mk
+	}
+
+	pred := Prediction{}
+	if m.p.IterWeights == nil {
+		// Uniform iterations: evaluate two consecutive iterations without
+		// resetting the clocks. Iteration 1's makespan is the cold-start
+		// time; the difference to iteration 2's makespan is the
+		// steady-state period. Because every application's iteration ends
+		// in a collective, the inter-node clock offsets reach their fixed
+		// point after one iteration, so two are sufficient.
+		t1 := iterate(0, 1)
+		t2 := iterate(1, 1)
+		pred.Total = t1 + float64(m.p.Iterations-1)*(t2-t1)
+	} else {
+		// Nonuniform iterations (§3.1): evaluate every iteration with its
+		// computation weight relative to the instrumented iteration
+		// (index 0).
+		w0 := m.p.IterWeights[0]
+		var last float64
+		for i := 0; i < m.p.Iterations; i++ {
+			last = iterate(i, m.p.IterWeights[i]/w0)
+		}
+		pred.Total = last
+	}
+	pred.NodeTimes = nodeTimes
+	pred.SectionTimes = sectionTimes
+	pred.PerIteration = pred.Total / float64(m.p.Iterations)
+	return pred
+}
+
+// residency runs MHETA's (deliberately simple, §5.4) in-core heuristic
+// for every node under distribution d, filling m.layouts.
+func (m *Model) residency(d []int) {
+	m.kShared = 1
+	streaming := 0
+	for p := 0; p < m.p.Nodes; p++ {
+		budget := memsim.Budget{Capacity: m.p.MemoryBytes[p]}
+		ooc := false
+		for vi, v := range m.p.DistVars {
+			m.layouts[p][vi] = memsim.PlanVar(budget, int64(d[p])*v.ElemBytes, v.ElemBytes)
+			if !m.layouts[p][vi].InCore {
+				ooc = true
+			}
+		}
+		if ooc && d[p] > 0 {
+			streaming++
+		}
+	}
+	if m.p.SharedDisk && streaming > 1 {
+		m.kShared = float64(streaming)
+	}
+}
+
+// sectionBusy returns node p's total computation + I/O time for a section
+// (all stages, all tiles) given its assigned work w.
+func (m *Model) sectionBusy(si int, s *SectionParams, p, w int, scale float64) float64 {
+	if w == 0 {
+		return 0
+	}
+	t := 0.0
+	for sti := range s.Stages {
+		t += m.stageTime(&s.Stages[sti], m.stageVar[si][sti], s.Tiles, p, w, scale)
+	}
+	return t
+}
+
+// stageTime implements §4.2.1 for one stage on one node: computation
+// scaled to the assigned work, plus the Equation 1 (synchronous) or
+// Equation 2 (prefetching) I/O term for the streamed variable.
+func (m *Model) stageTime(st *StageParams, varIdx, tiles, p, w int, scale float64) float64 {
+	t := st.ComputePerElem[p] * float64(w) * scale
+	if varIdx < 0 {
+		return t
+	}
+	layout := m.layouts[p][varIdx]
+	if layout.InCore {
+		// In core: only the compulsory read, charged outside the
+		// iteration loop; per-iteration I/O is zero (§4.2.1).
+		return t
+	}
+	stream := memsim.StreamPlan(w, st.ElemBytes, layout.ICLABytes, tiles)
+	oclaBytes := int64(w) * st.ElemBytes
+	nr := stream.ChunksPerTile * tiles // total reads per iteration
+	disk := m.p.Disk[p]
+	// kd is the shared-disk contention factor: every disk service time —
+	// seeks and byte latencies, but not the CPU-side issue cost — runs
+	// kd× slower when kd nodes stream through the global disk.
+	kd := m.kShared
+
+	// Write-back term, common to Equations 1 and 2: NR·Ow + OCLA·lw.
+	if !st.ReadOnly {
+		t += (float64(nr)*disk.WriteSeek + float64(oclaBytes)*st.WritePerByte[p]) * kd
+	}
+
+	if !st.Prefetch {
+		// Equation 1: NR·Or + OCLA·lr. (The paper writes NR·(Or+Lr) with
+		// Lr the full-ICLA latency; summing actual chunk bytes is the
+		// same quantity with the final partial chunk handled exactly.)
+		t += (float64(nr)*disk.ReadSeek + float64(oclaBytes)*st.ReadPerByte[p]) * kd
+		return t
+	}
+
+	// Equation 2. Per tile: the first read pays the full latency
+	// Or + chunk·lr; each of the remaining NR−1 reads pays the issue
+	// overhead To plus the effective latency Le = max(0, R − Tov), where
+	// Tov is the computation overlapping the in-flight prefetch.
+	chunkBytes := int64(stream.ChunkElems) * stream.StripBytes
+	fullRead := (disk.ReadSeek + float64(chunkBytes)*st.ReadPerByte[p]) * kd
+	// Overlap is computation, so it scales with the iteration weight too.
+	tovPerChunk := st.OverlapPerElem[p] * float64(stream.ChunkElems) * scale
+	le := fullRead - tovPerChunk
+	if le < 0 {
+		le = 0
+	}
+	perTile := fullRead // first chunk of the tile
+	if stream.ChunksPerTile > 1 {
+		rest := stream.ChunksPerTile - 1
+		perTile += float64(rest) * (disk.IssueCost + le)
+		// The final chunk of a tile is usually partial; its prefetch
+		// latency is proportionally smaller. Account for the partial
+		// chunk exactly, as the synchronous path does.
+		lastBytes := int64(w-(stream.ChunksPerTile-1)*stream.ChunkElems) * stream.StripBytes
+		if lastBytes < chunkBytes {
+			shortBy := float64(chunkBytes-lastBytes) * st.ReadPerByte[p] * kd
+			lastRead := fullRead - shortBy
+			lastLe := lastRead - tovPerChunk
+			if lastLe < 0 {
+				lastLe = 0
+			}
+			perTile += lastLe - le // replace one full Le with the partial one
+		}
+	}
+	t += float64(tiles) * perTile
+	return t
+}

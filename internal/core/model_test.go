@@ -1,0 +1,575 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mheta/internal/program"
+)
+
+// handParams builds a two-node parameter set with clean numbers for
+// arithmetic verification.
+func handParams() Params {
+	return Params{
+		Program:     "hand",
+		Nodes:       2,
+		Iterations:  1,
+		MemoryBytes: []int64{1000, 1000},
+		Disk: []DiskCal{
+			{ReadSeek: 0.010, WriteSeek: 0.020, IssueCost: 0.001},
+			{ReadSeek: 0.010, WriteSeek: 0.020, IssueCost: 0.001},
+		},
+		Net: NetParams{
+			SendFixed: 0.001, SendPerByte: 0,
+			RecvFixed: 0.002, RecvPerByte: 0,
+			WireFixed: 0.005, WirePerByte: 0,
+		},
+		BaseDist: []int{10, 10},
+		DistVars: []DistVar{{Name: "V", ElemBytes: 100}},
+		Sections: []SectionParams{{
+			Name:  "s0",
+			Tiles: 1,
+			Comm:  program.CommNone,
+			Stages: []StageParams{{
+				Name:           "st",
+				ComputePerElem: []float64{0.1, 0.2},
+				StreamVar:      "V",
+				ElemBytes:      100,
+				ReadPerByte:    []float64{1e-4, 1e-4},
+				WritePerByte:   []float64{2e-4, 2e-4},
+			}},
+		}},
+	}
+}
+
+func TestComputeScalingEq(t *testing.T) {
+	// In-core work: only ComputePerElem × W matters.
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20} // everything fits
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10})
+	if !closeTo(pred.NodeTimes[0], 1.0) || !closeTo(pred.NodeTimes[1], 2.0) {
+		t.Fatalf("node times %v", pred.NodeTimes)
+	}
+	// Tc' = Tc · W'/W: doubling node 0's work doubles its time.
+	pred2 := m.Predict([]int{20, 0})
+	if !closeTo(pred2.NodeTimes[0], 2.0) {
+		t.Fatalf("scaled time %v, want 2.0", pred2.NodeTimes[0])
+	}
+	if pred2.NodeTimes[1] != 0 {
+		t.Fatalf("empty node time %v, want 0", pred2.NodeTimes[1])
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	return d > -1e-9 && d < 1e-9
+}
+
+func TestEquation1SynchronousIO(t *testing.T) {
+	p := handParams()
+	// 10 elements × 100 B = 1000 B OCLA; capacity 1000 B → in core. Use
+	// 20 elements so the variable is out of core: OCLA 2000, ICLA 1000
+	// (whole capacity), NR = 2.
+	p.BaseDist = []int{20, 20}
+	m := MustModel(p)
+	pred := m.Predict([]int{20, 0})
+	// Equation 1: Tv = NR·(Or+Ow) + OCLA·(lr+lw)
+	//           = 2·(0.010+0.020) + 2000·(1e-4+2e-4) = 0.06 + 0.6 = 0.66.
+	// Compute: 20 × 0.1 = 2.0. Total 2.66.
+	if !closeTo(pred.NodeTimes[0], 2.66) {
+		t.Fatalf("node 0 time %v, want 2.66", pred.NodeTimes[0])
+	}
+}
+
+func TestEquation1ReadOnlySkipsWrites(t *testing.T) {
+	p := handParams()
+	p.BaseDist = []int{20, 20}
+	p.Sections[0].Stages[0].ReadOnly = true
+	p.Sections[0].Stages[0].WritePerByte = nil
+	m := MustModel(p)
+	pred := m.Predict([]int{20, 0})
+	// Read side only: 2·0.010 + 2000·1e-4 = 0.22; compute 2.0.
+	if !closeTo(pred.NodeTimes[0], 2.22) {
+		t.Fatalf("node 0 time %v, want 2.22", pred.NodeTimes[0])
+	}
+}
+
+func TestInCoreVariableNoIO(t *testing.T) {
+	p := handParams()
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10}) // 1000 B each: exactly in core
+	if !closeTo(pred.NodeTimes[0], 1.0) {
+		t.Fatalf("in-core node charged I/O: %v", pred.NodeTimes[0])
+	}
+}
+
+func TestEquation2PrefetchMasksLatency(t *testing.T) {
+	p := handParams()
+	p.BaseDist = []int{20, 20}
+	st := &p.Sections[0].Stages[0]
+	st.Prefetch = true
+	st.ReadOnly = true
+	st.WritePerByte = nil
+	// Overlap computation far exceeds the read latency: Le = 0.
+	st.OverlapPerElem = []float64{0.1, 0.1} // = ComputePerElem: full masking needs 0.1·10 ≥ 0.01+1000·1e-4 = 0.11? No: 1.0 > 0.11 ✓
+	m := MustModel(p)
+	pred := m.Predict([]int{20, 0})
+	// ICLA 1000 B = 10 elems → 2 chunks. First read full:
+	// 0.010 + 1000·1e-4 = 0.11. Second: To + max(0, 0.11 − 0.1·10) =
+	// 0.001 + 0 = 0.001. Compute 2.0 → total 2.111.
+	if !closeTo(pred.NodeTimes[0], 2.111) {
+		t.Fatalf("node 0 time %v, want 2.111", pred.NodeTimes[0])
+	}
+}
+
+func TestEquation2ReducesToEq1WhenNoOverlap(t *testing.T) {
+	// "Note that with no prefetching, Equation 2 reduces to Equation 1
+	// because Le = Lr and Tov = 0" — with zero overlap and zero issue
+	// cost, the prefetch model must charge exactly the synchronous cost.
+	p := handParams()
+	p.BaseDist = []int{20, 20}
+	p.Disk[0].IssueCost = 0
+	p.Disk[1].IssueCost = 0
+	sync := MustModel(p).Predict([]int{20, 0})
+
+	p2 := handParams()
+	p2.BaseDist = []int{20, 20}
+	p2.Disk[0].IssueCost = 0
+	p2.Disk[1].IssueCost = 0
+	st := &p2.Sections[0].Stages[0]
+	st.Prefetch = true
+	st.OverlapPerElem = []float64{0, 0}
+	pf := MustModel(p2).Predict([]int{20, 0})
+
+	if !closeTo(sync.NodeTimes[0], pf.NodeTimes[0]) {
+		t.Fatalf("Eq2 (%v) != Eq1 (%v) at zero overlap", pf.NodeTimes[0], sync.NodeTimes[0])
+	}
+}
+
+func TestPrefetchNeverBeatsFreeIO(t *testing.T) {
+	// Prefetching can cost more than synchronous I/O is saved ("the extra
+	// overhead is incurred regardless"), but the I/O term must never go
+	// below the first-read cost.
+	p := handParams()
+	p.BaseDist = []int{40, 40}
+	st := &p.Sections[0].Stages[0]
+	st.Prefetch = true
+	st.ReadOnly = true
+	st.WritePerByte = nil
+	st.OverlapPerElem = []float64{10, 10} // absurdly large overlap
+	m := MustModel(p)
+	pred := m.Predict([]int{40, 0})
+	compute := 40 * 0.1
+	firstRead := 0.010 + 1000e-4
+	if pred.NodeTimes[0] < compute+firstRead {
+		t.Fatalf("time %v below compute+firstRead %v", pred.NodeTimes[0], compute+firstRead)
+	}
+}
+
+func TestNearestNeighborWait(t *testing.T) {
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20}
+	p.Sections[0].Comm = program.CommNearestNeighbor
+	p.Sections[0].MsgBytes = 0 // fixed overheads only
+	m := MustModel(p)
+	// Node 0 busy 1.0s, node 1 busy 2.0s (rates 0.1/0.2 × 10 elems).
+	pred := m.Predict([]int{10, 10})
+	// Node 0: sends at 1.0 (+os 0.001); node 1 sends at 2.0 (+0.001).
+	// Node 0 recv: max(1.001, 2.001+0.005) + or = 2.006 + 0.002 = 2.008.
+	if !closeTo(pred.NodeTimes[0], 2.008) {
+		t.Fatalf("node 0: %v, want 2.008 (Equation 3 wait)", pred.NodeTimes[0])
+	}
+	// Node 1: its recv: its sendDone 2.001 vs arrival 1.001+0.005=1.006 →
+	// max = 2.001 + or = 2.003.
+	if !closeTo(pred.NodeTimes[1], 2.003) {
+		t.Fatalf("node 1: %v, want 2.003 (no wait)", pred.NodeTimes[1])
+	}
+}
+
+func TestNearestNeighborSymmetricNodesNoWait(t *testing.T) {
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20}
+	p.Sections[0].Stages[0].ComputePerElem = []float64{0.1, 0.1}
+	p.Sections[0].Comm = program.CommNearestNeighbor
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10})
+	// Equal busy times: wait only covers the wire latency.
+	// busy 1.0 + os 0.001 → arrival 1.006 → +or = 1.008.
+	if !closeTo(pred.NodeTimes[0], 1.008) || !closeTo(pred.NodeTimes[1], 1.008) {
+		t.Fatalf("times %v", pred.NodeTimes)
+	}
+}
+
+func TestPipelineHeadNeverWaits(t *testing.T) {
+	p := pipelineParams(4, 4)
+	m := MustModel(p)
+	pred := m.PredictDetailed([]int{10, 10, 10, 10})
+	// Head (node 0): tiles × (busyTile + os) = 4 × (0.25 + 0.001) = 1.004.
+	if !closeTo(pred.NodeTimes[0], 1.004) {
+		t.Fatalf("head time %v, want 1.004", pred.NodeTimes[0])
+	}
+	// Times must be non-decreasing down the chain (Equation 4).
+	for i := 1; i < 4; i++ {
+		if pred.NodeTimes[i] < pred.NodeTimes[i-1] {
+			t.Fatalf("pipeline times not monotone: %v", pred.NodeTimes)
+		}
+	}
+}
+
+func TestPipelineTailBound(t *testing.T) {
+	p := pipelineParams(3, 5)
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10, 10})
+	// Lower bound: the tail cannot finish before the head's first tile
+	// reaches it plus its own full work.
+	busyTile := 1.0 / 5
+	firstArrival := (busyTile+0.001)*1 + 0.005 // head tile 0 + wire
+	lower := firstArrival + 2*0.002 + 1.0      // + recv overheads + own stages (loose)
+	if pred.NodeTimes[2] < lower-0.1 {
+		t.Fatalf("tail %v below plausible bound %v", pred.NodeTimes[2], lower)
+	}
+}
+
+func pipelineParams(nodes, tiles int) Params {
+	mem := make([]int64, nodes)
+	disks := make([]DiskCal, nodes)
+	rates := make([]float64, nodes)
+	base := make([]int, nodes)
+	for i := range mem {
+		mem[i] = 1 << 20
+		disks[i] = DiskCal{ReadSeek: 0.01, WriteSeek: 0.02, IssueCost: 0.001}
+		rates[i] = 0.1
+		base[i] = 10
+	}
+	return Params{
+		Program: "pipe", Nodes: nodes, Iterations: 1,
+		MemoryBytes: mem, Disk: disks,
+		Net: NetParams{
+			SendFixed: 0.001, RecvFixed: 0.002, WireFixed: 0.005,
+		},
+		BaseDist: base,
+		DistVars: []DistVar{{Name: "T", ElemBytes: 100}},
+		Sections: []SectionParams{{
+			Name: "pipe", Tiles: tiles, Comm: program.CommPipeline,
+			Stages: []StageParams{{
+				Name: "dp", ComputePerElem: rates,
+			}},
+		}},
+	}
+}
+
+func TestReductionTreeChargesEveryone(t *testing.T) {
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20}
+	p.Sections[0].Comm = program.CommReduction
+	p.Sections[0].ReduceBytes = 8
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10})
+	// Two nodes: node 1 sends to node 0 (os), node 0 receives (wait + or),
+	// then broadcasts back. Node 1's time: busy 2.0 + os, then bcast recv.
+	// Node 0 enters at 1.0, waits for node 1 (busy 2.0 + os = 2.001,
+	// arrival 2.006), or → 2.008; bcast: +os → 2.009 (node 0 done);
+	// node 1 recv at 2.009+0.005 → +or = 2.016.
+	if !closeTo(pred.NodeTimes[0], 2.009) {
+		t.Fatalf("root %v, want 2.009", pred.NodeTimes[0])
+	}
+	if !closeTo(pred.NodeTimes[1], 2.016) {
+		t.Fatalf("leaf %v, want 2.016", pred.NodeTimes[1])
+	}
+}
+
+func TestPredictionDeterministic(t *testing.T) {
+	p := handParams()
+	m := MustModel(p)
+	a := m.Predict([]int{13, 7})
+	b := m.Predict([]int{13, 7})
+	if a.PerIteration != b.PerIteration || a.Total != b.Total {
+		t.Fatal("prediction not deterministic")
+	}
+}
+
+func TestPredictScratchReuseIsolated(t *testing.T) {
+	// Interleaved predictions with different distributions must not
+	// contaminate each other through the scratch buffers.
+	p := handParams()
+	m := MustModel(p)
+	first := m.Predict([]int{20, 0}).PerIteration
+	m.Predict([]int{0, 20})
+	again := m.Predict([]int{20, 0}).PerIteration
+	if first != again {
+		t.Fatalf("scratch contamination: %v vs %v", first, again)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := MustModel(handParams())
+	c := m.Clone()
+	if c.Predict([]int{10, 10}).Total != m.Predict([]int{10, 10}).Total {
+		t.Fatal("clone disagrees")
+	}
+}
+
+func TestTotalScalesWithIterations(t *testing.T) {
+	p := handParams()
+	p.Iterations = 7
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10})
+	if !closeTo(pred.Total, 7*pred.PerIteration) {
+		t.Fatalf("total %v, per-iter %v", pred.Total, pred.PerIteration)
+	}
+}
+
+func TestMoreWorkNeverFasterProperty(t *testing.T) {
+	p := handParams()
+	p.BaseDist = []int{50, 50}
+	m := MustModel(p)
+	f := func(a uint8, extra uint8) bool {
+		w := int(a)%50 + 1
+		d1 := []int{w, 100 - w}
+		d2 := []int{w + int(extra)%20, 100 - w}
+		// Node 0's own finish time never decreases with more work.
+		t1 := m.Predict(d1).NodeTimes[0]
+		t2 := m.Predict(d2).NodeTimes[0]
+		return t2 >= t1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionPositiveProperty(t *testing.T) {
+	p := handParams()
+	m := MustModel(p)
+	f := func(a uint8) bool {
+		w := int(a)%99 + 1
+		pred := m.Predict([]int{w, 100 - w})
+		return pred.PerIteration > 0 && !math.IsNaN(pred.PerIteration) &&
+			!math.IsInf(pred.PerIteration, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictWrongLengthPanics(t *testing.T) {
+	m := MustModel(handParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Predict([]int{1, 2, 3})
+}
+
+func TestPredictDetailedSectionTimes(t *testing.T) {
+	p := handParams()
+	p.Sections = append(p.Sections, SectionParams{
+		Name: "s1", Tiles: 1, Comm: program.CommReduction, ReduceBytes: 8,
+		Stages: []StageParams{{Name: "r", ComputePerElem: []float64{0.01, 0.01}}},
+	})
+	m := MustModel(p)
+	pred := m.PredictDetailed([]int{10, 10})
+	if len(pred.SectionTimes) != 2 {
+		t.Fatalf("%d section rows", len(pred.SectionTimes))
+	}
+	// Cumulative: section 1 times ≥ section 0 times.
+	for n := 0; n < 2; n++ {
+		if pred.SectionTimes[1][n] < pred.SectionTimes[0][n] {
+			t.Fatal("section times not cumulative")
+		}
+	}
+	// Final section row equals NodeTimes.
+	for n := 0; n < 2; n++ {
+		if pred.SectionTimes[1][n] != pred.NodeTimes[n] {
+			t.Fatal("last section != node times")
+		}
+	}
+}
+
+func TestPredictAllocationBound(t *testing.T) {
+	// Predict sits inside search loops that evaluate thousands of
+	// candidates; it must not allocate beyond the returned Prediction.
+	m := MustModel(handParams())
+	d := []int{13, 7}
+	allocs := testing.AllocsPerRun(100, func() { m.Predict(d) })
+	if allocs > 2 {
+		t.Fatalf("Predict allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestNonuniformIterationsScaleCompute(t *testing.T) {
+	// In-core, compute-only program: Total with weights [1, 2, 3] must be
+	// (1+2+3)× the single-iteration compute (per node, no comm).
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20}
+	p.Iterations = 3
+	p.IterWeights = []float64{1, 2, 3}
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10})
+	// Node 1 is slowest: 2.0s at weight 1 → 2+4+6 = 12.
+	if !closeTo(pred.Total, 12.0) {
+		t.Fatalf("weighted total %v, want 12", pred.Total)
+	}
+}
+
+func TestNonuniformWeightsNormalisedToInstrumented(t *testing.T) {
+	// Rates are measured at iteration 0; if its weight is 2 the rates
+	// already contain the factor 2, so weights [2, 1] predict
+	// 1×compute + 0.5×compute.
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20}
+	p.Iterations = 2
+	p.IterWeights = []float64{2, 1}
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10})
+	if !closeTo(pred.Total, 2.0+1.0) {
+		t.Fatalf("total %v, want 3 (2 + 2·(1/2))", pred.Total)
+	}
+}
+
+func TestNonuniformIODoesNotScale(t *testing.T) {
+	// I/O volume is independent of the iteration weight: only compute
+	// shrinks.
+	p := handParams()
+	p.BaseDist = []int{20, 20}
+	p.Iterations = 2
+	p.IterWeights = []float64{1, 0.5}
+	m := MustModel(p)
+	pred := m.Predict([]int{20, 0})
+	// Iter 0: compute 2.0 + IO 0.66; iter 1: compute 1.0 + IO 0.66.
+	if !closeTo(pred.Total, 2.66+1.66) {
+		t.Fatalf("total %v, want 4.32", pred.Total)
+	}
+}
+
+func TestIterWeightsValidation(t *testing.T) {
+	p := handParams()
+	p.IterWeights = []float64{1, 2} // but Iterations == 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	p = handParams()
+	p.IterWeights = []float64{-1}
+	if err := p.Validate(); err == nil {
+		t.Fatal("non-positive weight accepted")
+	}
+}
+
+func TestSharedDiskScalesIOTerm(t *testing.T) {
+	// Two out-of-core nodes on a shared disk: Equation 1's I/O doubles.
+	p := handParams()
+	p.BaseDist = []int{20, 20}
+	p.SharedDisk = true
+	m := MustModel(p)
+	pred := m.Predict([]int{20, 20}) // both stream → k = 2
+	// Node 0: compute 2.0 + 2×(Eq1 I/O 0.66) = 3.32.
+	if !closeTo(pred.NodeTimes[0], 2.0+2*0.66) {
+		t.Fatalf("node 0 %v, want 3.32", pred.NodeTimes[0])
+	}
+	// Single streaming node: no contention.
+	pred = m.Predict([]int{40, 0})
+	// Node 0: compute 4.0 + I/O with ICLA 1000, OCLA 4000, NR 4:
+	// 4·0.030 + 4000·3e-4 = 1.32 → 5.32, unscaled (k = 1).
+	if !closeTo(pred.NodeTimes[0], 4.0+1.32) {
+		t.Fatalf("lone streamer %v, want 5.32", pred.NodeTimes[0])
+	}
+}
+
+func TestSharedDiskIgnoredWhenInCore(t *testing.T) {
+	p := handParams()
+	p.SharedDisk = true
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10}) // both in core
+	if !closeTo(pred.NodeTimes[0], 1.0) {
+		t.Fatalf("in-core node charged contention: %v", pred.NodeTimes[0])
+	}
+}
+
+func TestSingleActiveNodeSkipsComm(t *testing.T) {
+	// One active node: nearest-neighbour and pipeline sections involve no
+	// messages at all; only the stage work remains (plus, for reductions,
+	// the full tree with idle peers).
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20}
+	p.Sections[0].Comm = program.CommNearestNeighbor
+	m := MustModel(p)
+	pred := m.Predict([]int{20, 0})
+	if !closeTo(pred.NodeTimes[0], 2.0) {
+		t.Fatalf("lone NN node %v, want 2.0 (no comm)", pred.NodeTimes[0])
+	}
+
+	pp := pipelineParams(3, 4)
+	mp := MustModel(pp)
+	pred = mp.Predict([]int{30, 0, 0})
+	if !closeTo(pred.NodeTimes[0], 3.0) {
+		t.Fatalf("lone pipeline node %v, want 3.0", pred.NodeTimes[0])
+	}
+	if pred.NodeTimes[1] != 0 || pred.NodeTimes[2] != 0 {
+		t.Fatalf("idle nodes charged: %v", pred.NodeTimes)
+	}
+}
+
+func TestReductionIncludesIdleNodes(t *testing.T) {
+	// Zero-work nodes still join reductions (they must, or the collective
+	// deadlocks in the runtime) — their clocks advance past the tree.
+	p := handParams()
+	p.MemoryBytes = []int64{1 << 20, 1 << 20}
+	p.Sections[0].Comm = program.CommReduction
+	p.Sections[0].ReduceBytes = 8
+	m := MustModel(p)
+	pred := m.Predict([]int{20, 0})
+	if pred.NodeTimes[1] <= 0 {
+		t.Fatalf("idle node did not participate in the reduction: %v", pred.NodeTimes)
+	}
+	// The idle node's time is bounded by the busy node's finish plus the
+	// broadcast hop.
+	if pred.NodeTimes[1] < pred.NodeTimes[0] {
+		t.Fatalf("leaf finished before the root broadcast: %v", pred.NodeTimes)
+	}
+}
+
+func TestTwoNodePipelineHandCalc(t *testing.T) {
+	// Hand-evaluated Equation 4 for two nodes, two tiles, no I/O.
+	p := pipelineParams(2, 2)
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10})
+	// busyTile = 0.5. Head: t=0.5+os=0.501 (tile0 send), 1.001+... wait:
+	// head per tile: busy 0.5 + os 0.001 → finishes 1.002.
+	if !closeTo(pred.NodeTimes[0], 1.002) {
+		t.Fatalf("head %v, want 1.002", pred.NodeTimes[0])
+	}
+	// Tail tile 0: arrival 0.501+0.005=0.506, recv → 0.508, busy → 1.008.
+	// Tile 1: upstream sent at 1.002, arrival 1.007; tail ready 1.008 →
+	// no wait, recv 1.010, busy → 1.510.
+	if !closeTo(pred.NodeTimes[1], 1.510) {
+		t.Fatalf("tail %v, want 1.510", pred.NodeTimes[1])
+	}
+}
+
+func TestThreeNodeNearestNeighborHandCalc(t *testing.T) {
+	// Middle node sends left then right; its right neighbour's arrival
+	// must account for the second send's queuing behind the first.
+	p := pipelineParams(3, 1) // reuse the clean 3-node params
+	p.Sections[0].Comm = program.CommNearestNeighbor
+	p.Sections[0].Tiles = 1
+	p.Sections[0].MsgBytes = 0
+	m := MustModel(p)
+	pred := m.Predict([]int{10, 10, 10})
+	// All busy 1.0. os=0.001, or=0.002, wire=0.005.
+	// Node 0: send→1 at 1.001. Node 1: send→0 at 1.001, send→2 at 1.002.
+	// Node 2: send→1 at 1.001.
+	// Node 0 recv from 1: arrival = 1.001(+wire)=1.006 ≥ own 1.001 →
+	//   1.006+0.002 = 1.008.
+	// Node 1 recv from 0: arrival 1.006 vs own 1.002 → 1.008; recv from
+	//   2: arrival = 1.001+0.005 = 1.006 < 1.008 → 1.008+0.002 = 1.010.
+	// Node 2 recv from 1: arrival = 1.002+0.005 = 1.007 ≥ 1.001 →
+	//   1.007+0.002 = 1.009.
+	want := []float64{1.008, 1.010, 1.009}
+	for i, w := range want {
+		if !closeTo(pred.NodeTimes[i], w) {
+			t.Fatalf("node %d: %v, want %v (full times %v)", i, pred.NodeTimes[i], w, pred.NodeTimes)
+		}
+	}
+}

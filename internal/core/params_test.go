@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mheta/internal/program"
+)
+
+func TestHandParamsValidate(t *testing.T) {
+	p := handParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		errSub string
+	}{
+		{"zero nodes", func(p *Params) { p.Nodes = 0 }, "Nodes"},
+		{"zero iterations", func(p *Params) { p.Iterations = 0 }, "Iterations"},
+		{"short memory", func(p *Params) { p.MemoryBytes = p.MemoryBytes[:1] }, "MemoryBytes"},
+		{"short disk", func(p *Params) { p.Disk = p.Disk[:1] }, "Disk"},
+		{"short base dist", func(p *Params) { p.BaseDist = p.BaseDist[:1] }, "BaseDist"},
+		{"no sections", func(p *Params) { p.Sections = nil }, "no sections"},
+		{"zero tiles", func(p *Params) { p.Sections[0].Tiles = 0 }, "Tiles"},
+		{"pipeline one tile", func(p *Params) {
+			p.Sections[0].Comm = program.CommPipeline
+			p.Sections[0].Tiles = 1
+		}, "pipeline"},
+		{"short compute", func(p *Params) {
+			p.Sections[0].Stages[0].ComputePerElem = []float64{1}
+		}, "ComputePerElem"},
+		{"short read latencies", func(p *Params) {
+			p.Sections[0].Stages[0].ReadPerByte = []float64{1}
+		}, "ReadPerByte"},
+		{"missing write latencies", func(p *Params) {
+			p.Sections[0].Stages[0].WritePerByte = nil
+		}, "WritePerByte"},
+		{"bad elem bytes", func(p *Params) {
+			p.Sections[0].Stages[0].ElemBytes = 0
+		}, "ElemBytes"},
+		{"prefetch missing overlap", func(p *Params) {
+			p.Sections[0].Stages[0].Prefetch = true
+		}, "OverlapPerElem"},
+	}
+	for _, c := range cases {
+		p := handParams()
+		c.mutate(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.errSub)
+		}
+	}
+}
+
+func TestReadOnlyStageSkipsWriteValidation(t *testing.T) {
+	p := handParams()
+	p.Sections[0].Stages[0].ReadOnly = true
+	p.Sections[0].Stages[0].WritePerByte = nil
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewModelRejectsInvalid(t *testing.T) {
+	p := handParams()
+	p.Nodes = 0
+	if _, err := NewModel(p); err == nil {
+		t.Fatal("NewModel accepted invalid params")
+	}
+}
+
+func TestMustModelPanics(t *testing.T) {
+	p := handParams()
+	p.Nodes = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustModel(p)
+}
+
+func TestNetParamsCosts(t *testing.T) {
+	n := NetParams{SendFixed: 1, SendPerByte: 0.5, RecvFixed: 2, RecvPerByte: 0.25, WireFixed: 3, WirePerByte: 0.125}
+	if n.SendCost(4) != 3 || n.RecvCost(4) != 3 || n.Transfer(8) != 4 {
+		t.Fatal("cost arithmetic wrong")
+	}
+}
+
+func TestLowbit(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 1, 4: 4, 6: 2, 12: 4}
+	for x, want := range cases {
+		if lowbit(x) != want {
+			t.Errorf("lowbit(%d) = %d, want %d", x, lowbit(x), want)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package dist implements 1-D GEN_BLOCK data distributions (§3.1): the
+// global element range is divided into variable-sized contiguous blocks,
+// one per node, under the owner-computes and Local Placement rules.
+//
+// It provides the four anchor generators of Figure 8 — Block (Blk),
+// Balanced (Bal), In-Core (I-C) and In-Core-and-Balanced (I-C/Bal) — and
+// the spectrum walk the paper sweeps: Blk → I-C → I-C/Bal → Bal → Blk.
+package dist
+
+import (
+	"fmt"
+
+	"mheta/internal/cluster"
+)
+
+// Distribution assigns a contiguous block of elements to each node;
+// entry i is node i's block size. Entries may be zero (a node may own
+// nothing), never negative.
+type Distribution []int
+
+// Total returns the number of elements distributed.
+func (d Distribution) Total() int {
+	t := 0
+	for _, b := range d {
+		t += b
+	}
+	return t
+}
+
+// Start returns the first global element index owned by node i.
+func (d Distribution) Start(i int) int {
+	s := 0
+	for j := 0; j < i; j++ {
+		s += d[j]
+	}
+	return s
+}
+
+// Owner returns the node owning global element e, or -1 if out of range.
+func (d Distribution) Owner(e int) int {
+	if e < 0 {
+		return -1
+	}
+	s := 0
+	for i, b := range d {
+		s += b
+		if e < s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns an independent copy.
+func (d Distribution) Clone() Distribution {
+	return append(Distribution(nil), d...)
+}
+
+// Equal reports element-wise equality.
+func (d Distribution) Equal(o Distribution) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	for i := range d {
+		if d[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the distribution covers exactly total elements with no
+// negative blocks.
+func (d Distribution) Validate(total int) error {
+	sum := 0
+	for i, b := range d {
+		if b < 0 {
+			return fmt.Errorf("dist: node %d has negative block %d", i, b)
+		}
+		sum += b
+	}
+	if sum != total {
+		return fmt.Errorf("dist: blocks sum to %d, want %d", sum, total)
+	}
+	return nil
+}
+
+// String renders the distribution compactly, e.g. "[128 128 64 ...]".
+func (d Distribution) String() string { return fmt.Sprint([]int(d)) }
+
+// Block returns the Blk distribution: elements divided evenly across
+// nodes "without regard for I/O cost or load balance", remainder spread
+// one extra element to the first nodes.
+func Block(total, nodes int) Distribution {
+	if nodes <= 0 {
+		panic("dist: Block with no nodes")
+	}
+	d := make(Distribution, nodes)
+	base, rem := total/nodes, total%nodes
+	for i := range d {
+		d[i] = base
+		if i < rem {
+			d[i]++
+		}
+	}
+	return d
+}
+
+// Balanced returns the Bal distribution: blocks proportional to relative
+// CPU power, ignoring I/O costs.
+func Balanced(total int, spec cluster.Spec) Distribution {
+	weights := make([]float64, spec.N())
+	for i, n := range spec.Nodes {
+		weights[i] = n.CPUPower
+	}
+	return Proportional(total, weights)
+}
+
+// InCore returns the I-C distribution: blocks proportional to memory
+// capacity so as many nodes as possible hold their local arrays in core,
+// ignoring load balance. bytesPerElem is the per-element footprint summed
+// over all distributed variables, so capacity/bytesPerElem is the largest
+// in-core block a node can hold.
+func InCore(total int, spec cluster.Spec, bytesPerElem int64) Distribution {
+	if bytesPerElem <= 0 {
+		panic("dist: InCore with non-positive bytesPerElem")
+	}
+	caps := make([]int, spec.N())
+	capTotal := 0
+	for i, n := range spec.Nodes {
+		caps[i] = int(n.MemoryBytes / bytesPerElem)
+		capTotal += caps[i]
+	}
+	if capTotal >= total {
+		// Everything fits: fill nodes proportionally to capacity, capped
+		// at capacity, so every node stays in core.
+		weights := make([]float64, spec.N())
+		for i := range weights {
+			weights[i] = float64(caps[i])
+		}
+		d := Proportional(total, weights)
+		// Repair any over-capacity rounding by shifting overflow to nodes
+		// with headroom.
+		d = capRepair(d, caps)
+		return d
+	}
+	// Aggregate memory cannot hold the dataset: fill each node to
+	// capacity and spread the out-of-core remainder proportionally to
+	// capacity (bigger memories take bigger OCLAs).
+	d := make(Distribution, spec.N())
+	rem := total - capTotal
+	for i := range d {
+		d[i] = caps[i]
+	}
+	extra := Proportional(rem, intsToFloats(caps))
+	for i := range d {
+		d[i] += extra[i]
+	}
+	return d
+}
+
+// InCoreBalanced returns the I-C/Bal distribution: "first maximizes the
+// number of nodes that have exclusively in-core datasets and then balances
+// the load as much as possible". We fill in-core capacity in decreasing
+// CPU-power order (fast nodes get their full in-core share first), then
+// distribute any remainder proportionally to power.
+func InCoreBalanced(total int, spec cluster.Spec, bytesPerElem int64) Distribution {
+	if bytesPerElem <= 0 {
+		panic("dist: InCoreBalanced with non-positive bytesPerElem")
+	}
+	n := spec.N()
+	caps := make([]int, n)
+	capTotal := 0
+	for i, node := range spec.Nodes {
+		caps[i] = int(node.MemoryBytes / bytesPerElem)
+		capTotal += caps[i]
+	}
+	if capTotal >= total {
+		// In-core feasible: balance by power subject to per-node caps.
+		weights := make([]float64, n)
+		for i, node := range spec.Nodes {
+			weights[i] = node.CPUPower
+		}
+		d := Proportional(total, weights)
+		return capRepair(d, caps)
+	}
+	// Not feasible in core: fill everyone to capacity, then put the
+	// out-of-core remainder on the most powerful nodes (they absorb the
+	// extra passes fastest), proportionally to power.
+	d := make(Distribution, n)
+	for i := range d {
+		d[i] = caps[i]
+	}
+	weights := make([]float64, n)
+	for i, node := range spec.Nodes {
+		weights[i] = node.CPUPower
+	}
+	extra := Proportional(total-capTotal, weights)
+	for i := range d {
+		d[i] += extra[i]
+	}
+	return d
+}
+
+// Proportional splits total into len(weights) blocks proportional to the
+// weights using largest-remainder rounding, so the result sums exactly to
+// total. Zero or negative weights receive zero elements (unless all
+// weights are non-positive, which panics).
+func Proportional(total int, weights []float64) Distribution {
+	n := len(weights)
+	if n == 0 {
+		panic("dist: Proportional with no weights")
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w > 0 {
+			wsum += w
+		}
+	}
+	if wsum <= 0 {
+		panic("dist: Proportional with no positive weights")
+	}
+	d := make(Distribution, n)
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, 0, n)
+	assigned := 0
+	for i, w := range weights {
+		if w <= 0 {
+			rems = append(rems, rem{i, 0})
+			continue
+		}
+		exact := float64(total) * w / wsum
+		d[i] = int(exact)
+		assigned += d[i]
+		rems = append(rems, rem{i, exact - float64(d[i])})
+	}
+	// Hand the leftover elements to the largest fractional parts;
+	// ties break toward lower index for determinism.
+	for assigned < total {
+		best := -1
+		for j := range rems {
+			if best == -1 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		d[rems[best].i]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return d
+}
+
+// capRepair shifts elements from over-capacity nodes to nodes with
+// headroom, preserving the total. If total capacity is insufficient the
+// overflow stays where it is (the caller decided that is acceptable).
+func capRepair(d Distribution, caps []int) Distribution {
+	d = d.Clone()
+	for {
+		over, under := -1, -1
+		for i := range d {
+			if d[i] > caps[i] {
+				over = i
+			}
+			if d[i] < caps[i] {
+				under = i
+			}
+		}
+		if over == -1 || under == -1 {
+			return d
+		}
+		excess := d[over] - caps[over]
+		room := caps[under] - d[under]
+		move := excess
+		if room < move {
+			move = room
+		}
+		d[over] -= move
+		d[under] += move
+	}
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mheta/internal/cluster"
+)
+
+func TestBlockEven(t *testing.T) {
+	d := Block(100, 4)
+	for i, b := range d {
+		if b != 25 {
+			t.Fatalf("block %d = %d", i, b)
+		}
+	}
+}
+
+func TestBlockRemainderSpread(t *testing.T) {
+	d := Block(10, 4)
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Block(10,4) = %v", d)
+		}
+	}
+}
+
+func TestBlockSumsProperty(t *testing.T) {
+	f := func(total uint16, nodes uint8) bool {
+		n := int(nodes)%16 + 1
+		to := int(total)
+		d := Block(to, n)
+		if d.Total() != to {
+			return false
+		}
+		// Sizes differ by at most one.
+		lo, hi := d[0], d[0]
+		for _, b := range d {
+			if b < lo {
+				lo = b
+			}
+			if b > hi {
+				hi = b
+			}
+		}
+		return hi-lo <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionalExactSum(t *testing.T) {
+	f := func(total uint16, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		any := false
+		for i, r := range raw {
+			weights[i] = float64(r)
+			if r > 0 {
+				any = true
+			}
+		}
+		if !any {
+			weights[0] = 1
+		}
+		d := Proportional(int(total), weights)
+		if d.Total() != int(total) {
+			return false
+		}
+		for i, b := range d {
+			if b < 0 {
+				return false
+			}
+			if weights[i] == 0 && b != 0 {
+				return false // zero weight must receive nothing
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionalPanicsOnNoWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Proportional(10, []float64{0, 0})
+}
+
+func TestBalancedFollowsCPUPower(t *testing.T) {
+	spec := cluster.DC(8)
+	d := Balanced(800, spec)
+	if d.Total() != 800 {
+		t.Fatal("sum wrong")
+	}
+	// The fastest node (power 2.0) must receive more than a power-1 node.
+	if d[7] <= d[4] {
+		t.Fatalf("fast node got %d, baseline %d", d[7], d[4])
+	}
+	if d[0] >= d[4] {
+		t.Fatalf("slow node got %d, baseline %d", d[0], d[4])
+	}
+}
+
+func TestInCoreRespectsCapacityWhenFeasible(t *testing.T) {
+	spec := cluster.IO(8)
+	elemBytes := int64(4096)
+	// Aggregate capacity: 4 × 1MiB + 4 × 8MiB = 36 MiB = 9216 elems.
+	total := 4096 // 16 MiB: fits in aggregate memory
+	d := InCore(total, spec, elemBytes)
+	if d.Total() != total {
+		t.Fatal("sum wrong")
+	}
+	for i, b := range d {
+		capElems := int(spec.Nodes[i].MemoryBytes / elemBytes)
+		if b > capElems {
+			t.Fatalf("node %d got %d elements, capacity %d", i, b, capElems)
+		}
+	}
+	// Small-memory nodes must get less than big ones.
+	if d[0] >= d[7] {
+		t.Fatalf("small-memory node got %d, big-memory node %d", d[0], d[7])
+	}
+}
+
+func TestInCoreOverflowsProportionally(t *testing.T) {
+	spec := cluster.IO(8)
+	elemBytes := int64(4096)
+	total := 16384 // 64 MiB: exceeds the 36 MiB aggregate
+	d := InCore(total, spec, elemBytes)
+	if d.Total() != total {
+		t.Fatal("sum wrong")
+	}
+	for i, b := range d {
+		capElems := int(spec.Nodes[i].MemoryBytes / elemBytes)
+		if b < capElems {
+			t.Fatalf("node %d got %d < its capacity %d; capacity must fill first", i, b, capElems)
+		}
+	}
+}
+
+func TestInCoreBalancedPrefersPowerWithinCaps(t *testing.T) {
+	spec := cluster.HY1(8)
+	elemBytes := int64(4096)
+	total := 2048 // fits aggregate
+	d := InCoreBalanced(total, spec, elemBytes)
+	if d.Total() != total {
+		t.Fatal("sum wrong")
+	}
+	for i, b := range d {
+		capElems := int(spec.Nodes[i].MemoryBytes / elemBytes)
+		if b > capElems {
+			t.Fatalf("node %d exceeds capacity", i)
+		}
+	}
+	// Among the unconstrained CPU-varied nodes, faster gets more.
+	if d[3] <= d[0] {
+		t.Fatalf("power-2.0 node got %d, power-0.5 node %d", d[3], d[0])
+	}
+}
+
+func TestOwnerAndStart(t *testing.T) {
+	d := Distribution{3, 0, 5, 2}
+	if d.Start(0) != 0 || d.Start(2) != 3 || d.Start(3) != 8 {
+		t.Fatal("Start wrong")
+	}
+	cases := []struct{ e, want int }{
+		{0, 0}, {2, 0}, {3, 2}, {7, 2}, {8, 3}, {9, 3}, {10, -1}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := d.Owner(c.e); got != c.want {
+			t.Errorf("Owner(%d) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Distribution{2, 3}).Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Distribution{2, 2}).Validate(5); err == nil {
+		t.Fatal("wrong sum accepted")
+	}
+	if err := (Distribution{-1, 6}).Validate(5); err == nil {
+		t.Fatal("negative block accepted")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	d := Distribution{1, 2, 3}
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = 9
+	if d[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if d.Equal(Distribution{1, 2}) {
+		t.Fatal("length mismatch equal")
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := Distribution{10, 0, 10}
+	b := Distribution{0, 20, 0}
+	if !Lerp(a, b, 0).Equal(a) || !Lerp(a, b, 1).Equal(b) {
+		t.Fatal("endpoints wrong")
+	}
+}
+
+func TestLerpValidProperty(t *testing.T) {
+	f := func(raw []uint8, tRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw)
+		total := 0
+		a := make(Distribution, n)
+		for i, r := range raw {
+			a[i] = int(r)
+			total += int(r)
+		}
+		if total == 0 {
+			return true
+		}
+		b := Block(total, n)
+		tt := float64(tRaw) / 255
+		m := Lerp(a, b, tt)
+		return m.Validate(total) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapRepairMovesOverflow(t *testing.T) {
+	d := capRepair(Distribution{10, 0}, []int{4, 20})
+	if d[0] != 4 || d[1] != 6 {
+		t.Fatalf("capRepair = %v", d)
+	}
+	if d.Total() != 10 {
+		t.Fatal("total changed")
+	}
+}
+
+func TestCapRepairInsufficientCapacity(t *testing.T) {
+	d := capRepair(Distribution{10, 10}, []int{4, 4})
+	if d.Total() != 20 {
+		t.Fatal("total must be preserved even when capacity is short")
+	}
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"testing"
+
+	"mheta/internal/cluster"
+)
+
+const testElemBytes = 4096
+
+func anchorLabels(pts []SpectrumPoint) []string {
+	var out []string
+	for _, p := range pts {
+		if p.Label != "" {
+			out = append(out, p.Label)
+		}
+	}
+	return out
+}
+
+func TestAnchorsFullWalkOnHybrid(t *testing.T) {
+	// HY1 varies both CPU and memory: the full Figure 8 walk.
+	pts := Anchors(4096, cluster.HY1(8), testElemBytes)
+	want := []string{"Blk", "I-C", "I-C/Bal", "Bal", "Blk"}
+	got := anchorLabels(pts)
+	if len(got) != len(want) {
+		t.Fatalf("anchors %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("anchors %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAnchorsCollapseOnIO(t *testing.T) {
+	// IO has uniform CPU power: "we only vary the distribution between
+	// Blk and I-C" (§5.1).
+	got := anchorLabels(Anchors(4096, cluster.IO(8), testElemBytes))
+	want := []string{"Blk", "I-C", "Blk"}
+	if len(got) != len(want) {
+		t.Fatalf("anchors %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("anchors %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAnchorsCollapseOnDC(t *testing.T) {
+	// DC has no memory restrictions: "we vary the distribution only from
+	// Blk to Bal" (§5.1).
+	got := anchorLabels(Anchors(4096, cluster.DC(8), testElemBytes))
+	want := []string{"Blk", "Bal", "Blk"}
+	if len(got) != len(want) {
+		t.Fatalf("anchors %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("anchors %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpectrumPointsAllValid(t *testing.T) {
+	total := 4096
+	for _, spec := range cluster.NamedAll() {
+		for _, p := range Spectrum(total, spec, testElemBytes, 4) {
+			if err := p.Dist.Validate(total); err != nil {
+				t.Fatalf("%s: invalid point %v: %v", spec.Name, p.Dist, err)
+			}
+		}
+	}
+}
+
+func TestSpectrumEndpointsAreBlk(t *testing.T) {
+	total := 4096
+	blk := Block(total, 8)
+	pts := Spectrum(total, cluster.HY1(8), testElemBytes, 3)
+	if !pts[0].Dist.Equal(blk) || !pts[len(pts)-1].Dist.Equal(blk) {
+		t.Fatal("spectrum must start and end at Blk")
+	}
+	if pts[0].Label != "Blk" || pts[len(pts)-1].Label != "Blk" {
+		t.Fatal("endpoint labels wrong")
+	}
+}
+
+func TestSpectrumPointCount(t *testing.T) {
+	// Full walk: 4 legs × steps + final anchor.
+	pts := Spectrum(4096, cluster.HY1(8), testElemBytes, 3)
+	if len(pts) != 4*3+1 {
+		t.Fatalf("%d points, want 13", len(pts))
+	}
+	// Collapsed walks have 2 legs.
+	pts = Spectrum(4096, cluster.DC(8), testElemBytes, 3)
+	if len(pts) != 2*3+1 {
+		t.Fatalf("%d points, want 7", len(pts))
+	}
+}
+
+func TestSpectrumFullAlwaysFiveAnchors(t *testing.T) {
+	for _, spec := range cluster.NamedAll() {
+		pts := SpectrumFull(4096, spec, testElemBytes, 2)
+		if len(pts) != 4*2+1 {
+			t.Fatalf("%s: %d points, want 9", spec.Name, len(pts))
+		}
+		for _, p := range pts {
+			if err := p.Dist.Validate(4096); err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestSpectrumInteriorPointsBetweenAnchors(t *testing.T) {
+	total := 4096
+	spec := cluster.DC(8)
+	pts := Spectrum(total, spec, testElemBytes, 4)
+	blk := Block(total, 8)
+	bal := Balanced(total, spec)
+	// Interior points of leg 0 must lie between Blk and Bal per node.
+	for _, p := range pts[1:4] {
+		for i := range p.Dist {
+			lo, hi := blk[i], bal[i]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if p.Dist[i] < lo-1 || p.Dist[i] > hi+1 {
+				t.Fatalf("interior point %v outside [%v, %v] at node %d", p.Dist, blk, bal, i)
+			}
+		}
+	}
+}
+
+func TestLerpLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Lerp(Distribution{1}, Distribution{1, 2}, 0.5)
+}

@@ -1,0 +1,364 @@
+// Package exec is the application executor: it interprets a program.IR on
+// the emulated cluster, performing the real computation (each application
+// supplies numeric kernels), the real out-of-core I/O through disksim, and
+// the real message passing through mpi — all under virtual time. This is
+// the "actual execution" side of the paper's evaluation; the core package
+// is the predicting side.
+//
+// The executor owns the structure MHETA assumes (§3.1): iterations contain
+// parallel sections, sections contain tiles, tiles contain stages; each
+// stage streams at most one out-of-core variable through memory in ICLA
+// chunks, optionally with the Figure 6 prefetch unrolling; sections end in
+// nearest-neighbour, pipelined, or reduction communication.
+//
+// Residency decisions use memsim.PlanGreedy — the runtime's real packing —
+// which MHETA approximates with the simpler memsim.Plan; their boundary
+// disagreements reproduce the paper's §5.4 limitation 2.
+package exec
+
+import (
+	"fmt"
+
+	"mheta/internal/cluster"
+	"mheta/internal/disksim"
+	"mheta/internal/dist"
+	"mheta/internal/memsim"
+	"mheta/internal/mpi"
+	"mheta/internal/mpijack"
+	"mheta/internal/program"
+	"mheta/internal/trace"
+)
+
+// Mode selects a plain run or the instrumented iteration.
+type Mode int
+
+const (
+	// ModeRun executes all iterations with no interception.
+	ModeRun Mode = iota
+	// ModeInstrument executes a single iteration with MPI-Jack recorders
+	// attached, forced I/O for all distributed variables (§4.1.1), and
+	// the Figure 5 prefetch transform.
+	ModeInstrument
+)
+
+// State is the per-rank application state: numeric kernels plus whatever
+// halos, in-core vectors and replicated data the application keeps.
+type State interface {
+	// Init runs once before the iteration loop: it lays the rank's blocks
+	// out on its local disk (untimed — the dataset starts on local disk
+	// under the Local Placement rule) and prepares in-memory state.
+	// In-core variables are loaded by the executor after Init returns.
+	Init(nc *NodeCtx)
+	// Process performs the real computation for rows
+	// [gRow, gRow+nRows) of stage (sec, stg) within tile, over the chunk
+	// bytes buf (aliasing in-core memory, or a disk chunk that the
+	// executor writes back unless the variable is read-only). It returns
+	// the work units consumed, which the executor charges to the virtual
+	// clock; returning actual per-row cost (e.g. nonzero counts for
+	// sparse CG) is how irregular workloads diverge from MHETA's
+	// uniform-scaling assumption.
+	Process(nc *NodeCtx, sec, stg, tile, gRow, nRows int, buf []byte) float64
+	// BoundaryMsg returns the payload this rank sends to its neighbour in
+	// direction dir (-1 up the chain, +1 down) for the given section and
+	// tile. Pipelined sections only use dir=+1.
+	BoundaryMsg(nc *NodeCtx, sec, tile, dir int) []byte
+	// OnBoundary delivers a received boundary payload.
+	OnBoundary(nc *NodeCtx, sec, tile, dir int, data []byte)
+	// ReduceVal returns this rank's contribution to the section-ending
+	// reduction; OnReduce receives the combined result.
+	ReduceVal(nc *NodeCtx, sec int) []float64
+	OnReduce(nc *NodeCtx, sec int, vals []float64)
+}
+
+// App couples a program IR with a State factory.
+type App struct {
+	Prog *program.Program
+	// NewState builds rank-local state; it must be deterministic in
+	// (rank, dist) so actual runs are reproducible.
+	NewState func(nc *NodeCtx) State
+}
+
+// NodeCtx is the executor's per-rank context, visible to application
+// kernels.
+type NodeCtx struct {
+	R     *mpi.Rank
+	Prog  *program.Program
+	Dist  dist.Distribution
+	Start int // first global row owned
+	Count int // rows owned
+	Iter  int // current iteration
+	// InCore holds memory-resident local arrays keyed by variable name,
+	// laid out tile-major (the on-disk layout).
+	InCore map[string][]byte
+
+	app     *App
+	state   State
+	plan    map[string]memsim.Layout
+	jack    *mpijack.Jack
+	rec     *mpijack.Recorder
+	tr      *trace.Trace
+	mode    Mode
+	actIdx  int   // index in active-node list, -1 if inactive
+	actives []int // ranks with non-zero work
+}
+
+// ActiveIndex returns this rank's position among active (non-empty)
+// ranks, or -1.
+func (nc *NodeCtx) ActiveIndex() int { return nc.actIdx }
+
+// ActivePeer returns the rank at active position i.
+func (nc *NodeCtx) ActivePeer(i int) int { return nc.actives[i] }
+
+// ActiveCount returns how many ranks own work.
+func (nc *NodeCtx) ActiveCount() int { return len(nc.actives) }
+
+// Layout returns the runtime residency layout for variable v.
+func (nc *NodeCtx) Layout(v string) memsim.Layout { return nc.plan[v] }
+
+// Result summarises one executed run.
+type Result struct {
+	// NodeTimes[p] is rank p's virtual finish time measured from the
+	// post-setup barrier (compulsory reads and data placement excluded,
+	// matching the model's steady-state scope).
+	NodeTimes []float64
+	// Time is the run's wall time: max over NodeTimes.
+	Time float64
+	// PerIteration is Time divided by the iteration count.
+	PerIteration float64
+	// Recorders holds each rank's instrumented measurements
+	// (ModeInstrument only).
+	Recorders []*mpijack.Recorder
+}
+
+// Options configure a run.
+type Options struct {
+	Mode Mode
+	// Iterations overrides the program's iteration count (0 keeps it).
+	// ModeInstrument always runs exactly one iteration.
+	Iterations int
+	// Trace, when non-nil, collects per-rank timelines (sections, I/O,
+	// blocked time). Plain runs only — ModeInstrument owns the profiler
+	// slot for MPI-Jack.
+	Trace *trace.Trace
+}
+
+// Run executes app under distribution d on world w.
+func Run(w *mpi.World, app *App, d dist.Distribution, opts Options) (Result, error) {
+	if err := app.Prog.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(d) != w.Size() {
+		return Result{}, fmt.Errorf("exec: distribution for %d nodes on a %d-node world", len(d), w.Size())
+	}
+	if err := d.Validate(app.Prog.GlobalElems()); err != nil {
+		return Result{}, err
+	}
+	iters := app.Prog.Iterations
+	if opts.Iterations > 0 {
+		iters = opts.Iterations
+	}
+	if opts.Mode == ModeInstrument {
+		iters = 1
+	}
+
+	var actives []int
+	for p, wk := range d {
+		if wk > 0 {
+			actives = append(actives, p)
+		}
+	}
+
+	// Shared-disk contention (§3.2 extension): each of k concurrently
+	// streaming nodes sees the global disk k× slower. k is computed from
+	// the same residency rules the runtime applies, so it is
+	// deterministic and known to all ranks.
+	contention := 1.0
+	if w.Spec().SharedDisk {
+		contention = SharedDiskContention(w.Spec(), app.Prog, d, opts.Mode == ModeInstrument)
+	}
+
+	n := w.Size()
+	recs := make([]*mpijack.Recorder, n)
+	starts := make([]float64, n)
+	ends := make([]float64, n)
+
+	w.ResetClocks()
+	w.Run(func(r *mpi.Rank) {
+		p := r.Rank()
+		nc := &NodeCtx{
+			R:       r,
+			Prog:    app.Prog,
+			Dist:    d,
+			Start:   d.Start(p),
+			Count:   d[p],
+			InCore:  make(map[string][]byte),
+			app:     app,
+			mode:    opts.Mode,
+			actIdx:  -1,
+			actives: actives,
+		}
+		for i, a := range actives {
+			if a == p {
+				nc.actIdx = i
+			}
+		}
+		if opts.Mode == ModeInstrument {
+			nc.jack = mpijack.New()
+			nc.rec = mpijack.NewRecorder(p)
+			nc.rec.Attach(nc.jack)
+			r.SetProfiler(nc.jack)
+			r.Disk().SetMode(disksim.ModeInstrument)
+			recs[p] = nc.rec
+		} else {
+			if opts.Trace != nil {
+				nc.tr = opts.Trace
+				r.SetProfiler(&trace.Collector{T: opts.Trace, Rank: p})
+			} else {
+				r.SetProfiler(nil)
+			}
+			r.Disk().SetMode(disksim.ModeNormal)
+		}
+
+		r.Disk().SetContention(contention)
+		nc.state = app.NewState(nc)
+		nc.state.Init(nc)
+		nc.computeResidency()
+		nc.loadInCore()
+
+		// Align all ranks, then measure the iteration region.
+		r.Barrier(1 << 16)
+		starts[p] = float64(r.Now())
+		for it := 0; it < iters; it++ {
+			nc.Iter = it
+			nc.runIteration()
+		}
+		ends[p] = float64(r.Now())
+		nc.flushInCore()
+	})
+
+	res := Result{NodeTimes: make([]float64, n), Recorders: recs}
+	start := 0.0
+	for _, s := range starts {
+		if s > start {
+			start = s
+		}
+	}
+	for p := range ends {
+		res.NodeTimes[p] = ends[p] - start
+		if res.NodeTimes[p] > res.Time {
+			res.Time = res.NodeTimes[p]
+		}
+	}
+	res.PerIteration = res.Time / float64(iters)
+	return res, nil
+}
+
+// SharedDiskContention returns the number of ranks that stream at least
+// one variable out of core under d — the bandwidth-sharing factor of the
+// global-disk extension. In instrument mode all active ranks stream
+// (forced I/O, §4.1.1), so the factor is the active count.
+func SharedDiskContention(spec cluster.Spec, prog *program.Program, d dist.Distribution, instrumentMode bool) float64 {
+	k := 0
+	for p := range spec.Nodes {
+		if d[p] == 0 {
+			continue
+		}
+		if instrumentMode {
+			if len(prog.DistributedVars()) > 0 {
+				k++
+			}
+			continue
+		}
+		varBytes := make(map[string]int64)
+		elemSize := make(map[string]int64)
+		for _, v := range prog.DistributedVars() {
+			varBytes[v.Name] = int64(d[p]) * v.ElemBytes
+			elemSize[v.Name] = v.ElemBytes
+		}
+		plan := memsim.PlanGreedy(memsim.Budget{Capacity: spec.Nodes[p].MemoryBytes}, varBytes, elemSize)
+		for _, l := range plan {
+			if !l.InCore {
+				k++
+				break
+			}
+		}
+	}
+	if k < 1 {
+		return 1
+	}
+	return float64(k)
+}
+
+// computeResidency runs the greedy (runtime-true) residency planner; in
+// instrument mode every distributed variable is then forced out of core so
+// all nodes measure I/O latencies for all variables (§4.1.1: "all nodes
+// are forced to perform I/O during the instrumented execution for any
+// distributed variables").
+func (nc *NodeCtx) computeResidency() {
+	varBytes := make(map[string]int64)
+	elemSize := make(map[string]int64)
+	for _, v := range nc.Prog.DistributedVars() {
+		varBytes[v.Name] = int64(nc.Count) * v.ElemBytes
+		elemSize[v.Name] = v.ElemBytes
+	}
+	budget := memsim.Budget{Capacity: nc.R.MemoryBytes()}
+	nc.plan = memsim.PlanGreedy(budget, varBytes, elemSize)
+	if nc.mode != ModeInstrument {
+		return
+	}
+	for name, l := range nc.plan {
+		if !l.InCore || l.OCLABytes == 0 {
+			continue
+		}
+		es := elemSize[name]
+		// Split the local array into two chunks so prefetching stages
+		// exhibit at least one issue/overlap window to measure.
+		half := memsim.CeilDiv(l.OCLABytes, 2)
+		half += (es - half%es) % es
+		if half < es {
+			half = es
+		}
+		if half >= l.OCLABytes {
+			// One-element arrays: a single forced read still measures lr.
+			nc.plan[name] = memsim.Layout{Variable: name, OCLABytes: l.OCLABytes, ICLABytes: l.OCLABytes, Passes: 1, InCore: false}
+			continue
+		}
+		nc.plan[name] = memsim.Layout{
+			Variable:  name,
+			OCLABytes: l.OCLABytes,
+			ICLABytes: half,
+			Passes:    int(memsim.CeilDiv(l.OCLABytes, half)),
+			InCore:    false,
+		}
+	}
+}
+
+// loadInCore performs the compulsory read of each in-core local array
+// into memory — once, before the iteration loop, so steady-state
+// iterations incur no I/O for them (§3.1).
+func (nc *NodeCtx) loadInCore() {
+	for _, v := range nc.Prog.DistributedVars() {
+		l, ok := nc.plan[v.Name]
+		if !ok || !l.InCore || nc.Count == 0 {
+			continue
+		}
+		data := nc.R.FileRead(v.Name, 0, int(int64(nc.Count)*v.ElemBytes))
+		nc.InCore[v.Name] = data
+	}
+}
+
+// flushInCore writes memory-resident local arrays back to disk after the
+// measured region — the program's terminal output write, so post-run
+// verification sees final values whether a variable lived in or out of
+// core. The flush is untimed: it is outside the iterative phase both the
+// emulator and the model measure.
+func (nc *NodeCtx) flushInCore() {
+	for _, v := range nc.Prog.DistributedVars() {
+		if v.ReadOnly {
+			continue
+		}
+		if data, ok := nc.InCore[v.Name]; ok {
+			nc.R.Disk().Store(v.Name, data)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mheta/internal/cluster"
+	"mheta/internal/stats"
+)
+
+func testRunner() *Runner {
+	r := DefaultRunner(ScaleTest)
+	r.StepsPerLeg = 2
+	return r
+}
+
+func TestTable1HasFourConfigs(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	want := []string{"DC", "IO", "HY1", "HY2"}
+	for i, r := range rows {
+		if r.Name != want[i] {
+			t.Fatalf("row %d = %s", i, r.Name)
+		}
+		if r.Spec.N() != 8 {
+			t.Fatalf("%s has %d nodes", r.Name, r.Spec.N())
+		}
+		if r.Description == "" {
+			t.Fatalf("%s missing description", r.Name)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1()
+	for _, want := range []string{"DC", "IO", "HY1", "HY2", "cpu:", "mem(MiB):", "diskX:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure8(t *testing.T) {
+	out := RenderFigure8(cluster.HY1(8), 1024, 4096, 2)
+	if !strings.Contains(out, "Blk") || !strings.Contains(out, "I-C/Bal") {
+		t.Fatalf("figure 8 render missing anchors:\n%s", out)
+	}
+}
+
+func TestSweepJacobiAccuracy(t *testing.T) {
+	r := testRunner()
+	res, err := r.Sweep(cluster.HY1(8), JacobiBuilder(false), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "HY1" || res.App != "Jacobi" {
+		t.Fatalf("labels %s/%s", res.Config, res.App)
+	}
+	if len(res.Points) != 4*2+1 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Actual <= 0 || p.Predicted <= 0 {
+			t.Fatalf("non-positive times at %s", p.XLabel())
+		}
+		if p.Diff > 0.15 {
+			t.Fatalf("diff %.1f%% at %s — model badly off", p.Diff*100, p.XLabel())
+		}
+	}
+	avg := stats.Mean(res.Diffs())
+	if avg > 0.06 {
+		t.Fatalf("average diff %.2f%% too high", avg*100)
+	}
+}
+
+func TestSweepFullWalkHasFiveAnchorAxis(t *testing.T) {
+	r := testRunner()
+	res, err := r.Sweep(cluster.DC(8), RNABuilder(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{}
+	for _, p := range res.Points {
+		if p.Label != "" {
+			labels = append(labels, p.Label)
+		}
+	}
+	want := []string{"Blk", "I-C", "I-C/Bal", "Bal", "Blk"}
+	if len(labels) != len(want) {
+		t.Fatalf("anchors %v", labels)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("anchors %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestSweepBestIndices(t *testing.T) {
+	r := testRunner()
+	res, err := r.Sweep(cluster.IO(8), JacobiBuilder(false), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, bp := res.BestActual(), res.BestPredicted()
+	for i, p := range res.Points {
+		if p.Actual < res.Points[ba].Actual || p.Predicted < res.Points[bp].Predicted {
+			t.Fatalf("best indices wrong at %d", i)
+		}
+	}
+	if r := res.Ratio(); r < 1 {
+		t.Fatalf("ratio %v < 1", r)
+	}
+}
+
+func TestAggregatePanelStats(t *testing.T) {
+	sweeps := []SweepResult{
+		{App: "A", Points: []Point{{Diff: 0.01}, {Diff: 0.03}}},
+		{App: "B", Points: []Point{{Diff: 0.05}, {Diff: 0.01}}},
+	}
+	p := aggregate("t", sweeps)
+	if len(p.Points) != 2 {
+		t.Fatalf("%d positions", len(p.Points))
+	}
+	if p.Points[0].Min != 0.01 || p.Points[0].Max != 0.05 {
+		t.Fatalf("pos0 %+v", p.Points[0])
+	}
+	if d := p.OverallAvg - 0.025; d < -1e-12 || d > 1e-12 {
+		t.Fatalf("overall %v", p.OverallAvg)
+	}
+}
+
+func TestAccuracySummary(t *testing.T) {
+	sweeps := []SweepResult{
+		{App: "X", Points: []Point{{Diff: 0.02}, {Diff: 0.04}}},
+		{App: "Y", Points: []Point{{Diff: 0.10}}},
+	}
+	acc := AccuracySummary(sweeps)
+	if acc.PerApp["X"] != 0.03 || acc.PerApp["Y"] != 0.10 {
+		t.Fatalf("per-app %+v", acc.PerApp)
+	}
+	want := (0.02 + 0.04 + 0.10) / 3
+	if diff := acc.Overall - want; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("overall %v, want %v", acc.Overall, want)
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	panel := Fig9Panel{Title: "T", Points: []Fig9Point{{XLabel: "Blk"}}}
+	if !strings.Contains(RenderFig9(panel), "Blk") {
+		t.Fatal("fig9 render")
+	}
+	f := Fig1011{Title: "F", Sweeps: []SweepResult{{App: "A", Points: []Point{
+		{Label: "Blk", Actual: 2, Predicted: 2.1, Diff: 0.05},
+		{Label: "I-C", Actual: 1, Predicted: 0.9, Diff: 0.1},
+	}}}}
+	out := RenderFig1011(f)
+	if !strings.Contains(out, "(best)") {
+		t.Fatalf("best not circled:\n%s", out)
+	}
+	if !strings.Contains(RenderAccuracy(Accuracy{PerApp: map[string]float64{"A": 0.02}, Overall: 0.02}), "OVERALL") {
+		t.Fatal("accuracy render")
+	}
+	if !strings.Contains(RenderRatios([]RatioRow{{Config: "DC", App: "RNA", Ratio: 3.9}}), "3.90x") {
+		t.Fatal("ratios render")
+	}
+}
+
+func TestModelLatencyFastEnough(t *testing.T) {
+	r := testRunner()
+	d, err := r.ModelLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 5.4 ms on 2005 hardware; anything at or below
+	// that keeps "on the fly" viable.
+	if d.Seconds() > 5.4e-3 {
+		t.Fatalf("model evaluation %v slower than the paper's 5.4ms", d)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive latency")
+	}
+}
+
+func TestSearchStudySmall(t *testing.T) {
+	r := testRunner()
+	study, err := r.RunSearchStudy(cluster.HY1(8), JacobiBuilder(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Rows) != 4 {
+		t.Fatalf("%d algorithms", len(study.Rows))
+	}
+	for _, row := range study.Rows {
+		if row.Predicted <= 0 || row.Actual <= 0 {
+			t.Fatalf("%s: non-positive times", row.Algorithm)
+		}
+		// Every algorithm must do at least as well as Blk in model terms.
+		if row.Predicted > study.Baseline.Predicted*1.001 {
+			t.Fatalf("%s found a worse-than-Blk distribution", row.Algorithm)
+		}
+		// The model's pick must verify on the emulator within 15%.
+		if stats.PercentDiff(row.Predicted, row.Actual) > 0.15 {
+			t.Fatalf("%s: predicted %v vs actual %v", row.Algorithm, row.Predicted, row.Actual)
+		}
+	}
+	out := RenderSearchStudy(study)
+	if !strings.Contains(out, "gbs") || !strings.Contains(out, "blk-baseline") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if ScalePaper.String() != "paper" || ScaleQuick.String() != "quick" || ScaleTest.String() != "test" {
+		t.Fatal("scale strings")
+	}
+}
+
+func TestPaperAppsOrder(t *testing.T) {
+	names := []string{}
+	for _, ab := range PaperApps() {
+		names = append(names, ab.Name)
+	}
+	want := []string{"Jacobi", "CG", "Lanczos", "RNA"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("apps %v", names)
+		}
+	}
+}
+
+func TestBuildersProduceValidAppsAtAllScales(t *testing.T) {
+	for _, ab := range append(PaperApps(), JacobiBuilder(true)) {
+		for _, s := range []Scale{ScalePaper, ScaleQuick, ScaleTest} {
+			app := ab.Build(s)
+			if err := app.Prog.Validate(); err != nil {
+				t.Fatalf("%s@%s: %v", ab.Name, s, err)
+			}
+		}
+	}
+}
+
+func TestInterferenceStudyDegradesGracefully(t *testing.T) {
+	r := testRunner()
+	rows, err := r.InterferenceStudy(cluster.HY1(8), JacobiBuilder(false), []float64{0, 0.2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Dedicated cluster: the usual accuracy.
+	if rows[0].AvgDiff > 0.05 {
+		t.Fatalf("idle-cluster avg diff %.2f%%", rows[0].AvgDiff*100)
+	}
+	// Accuracy must degrade monotonically with unseen load, and 50%
+	// load must push the average error well past the dedicated case.
+	if !(rows[2].AvgDiff > rows[1].AvgDiff && rows[1].AvgDiff > rows[0].AvgDiff) {
+		t.Fatalf("degradation not monotone: %+v", rows)
+	}
+	if rows[2].AvgDiff < 0.05 {
+		t.Fatalf("50%% unseen load barely hurts (%.2f%%) — interference is not being applied", rows[2].AvgDiff*100)
+	}
+	out := RenderInterference("Jacobi", "HY1", rows)
+	if !strings.Contains(out, "load amp") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigurePanelsAtTestScale(t *testing.T) {
+	// The full Figure 9/10/11 pipelines; heavy, so skipped under -short
+	// (the benchmark suite also exercises them).
+	if testing.Short() {
+		t.Skip("full figure pipelines skipped in -short mode")
+	}
+	r := testRunner()
+	panel, err := r.Figure9Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panel.OverallAvg > 0.05 || len(panel.Points) == 0 {
+		t.Fatalf("prefetch panel %+v", panel)
+	}
+	apps := []AppBuilder{RNABuilder()}
+	for _, ab := range apps {
+		p, err := r.Figure9App(ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.OverallAvg > 0.05 {
+			t.Fatalf("%s panel avg %.2f%%", ab.Name, p.OverallAvg*100)
+		}
+	}
+	figs10, err := r.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs11, err := r.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := BestWorstRatios(append(figs10, figs11...))
+	if len(rows) != 16 {
+		t.Fatalf("%d ratio rows, want 16 (4 configs × 4 apps)", len(rows))
+	}
+	for _, row := range rows {
+		if row.Ratio < 1 {
+			t.Fatalf("%s/%s ratio %v", row.Config, row.App, row.Ratio)
+		}
+	}
+}
+
+func TestMultigridBuilderAndAllApps(t *testing.T) {
+	all := AllApps()
+	if len(all) != 5 || all[4].Name != "Multigrid" {
+		t.Fatalf("AllApps %v", all)
+	}
+	for _, s := range []Scale{ScalePaper, ScaleQuick, ScaleTest} {
+		if err := MultigridBuilder().Build(s).Prog.Validate(); err != nil {
+			t.Fatalf("multigrid@%s: %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mheta/internal/cluster"
+	"mheta/internal/dist"
+	"mheta/internal/stats"
+)
+
+// ---- Table 1 ---------------------------------------------------------
+
+// Table1Row describes one named configuration.
+type Table1Row struct {
+	Name        string
+	Description string
+	Spec        cluster.Spec
+}
+
+// Table1 returns the four emulated-architecture configurations the paper
+// details (Table 1), with their concrete node parameters.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"DC", "Two nodes have a lower relative CPU power, and two other nodes have higher relative CPU power. The rest are unchanged.", cluster.DC(8)},
+		{"IO", "Half of the nodes have high I/O latency and small memories, but all nodes have equal relative CPU power.", cluster.IO(8)},
+		{"HY1", "Four nodes have varying relative CPU powers and the other four have low I/O latencies and small memories.", cluster.HY1(8)},
+		{"HY2", "Four nodes have varying relative CPU power and two nodes have high I/O latencies. The other two have large memories.", cluster.HY2(8)},
+	}
+}
+
+// RenderTable1 renders Table 1 with per-node parameters.
+func RenderTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: emulated architecture configurations (8 nodes)\n")
+	for _, row := range table1Rows() {
+		b.WriteString(row)
+	}
+	return b.String()
+}
+
+func table1Rows() []string {
+	var rows []string
+	for _, r := range Table1() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "\n%s: %s\n", r.Name, r.Description)
+		fmt.Fprintf(&b, "  node:     ")
+		for i := range r.Spec.Nodes {
+			fmt.Fprintf(&b, "%8d", i)
+		}
+		fmt.Fprintf(&b, "\n  cpu:      ")
+		for _, n := range r.Spec.Nodes {
+			fmt.Fprintf(&b, "%8.2f", n.CPUPower)
+		}
+		fmt.Fprintf(&b, "\n  mem(MiB): ")
+		for _, n := range r.Spec.Nodes {
+			fmt.Fprintf(&b, "%8.1f", float64(n.MemoryBytes)/(1<<20))
+		}
+		fmt.Fprintf(&b, "\n  diskX:    ")
+		for _, n := range r.Spec.Nodes {
+			fmt.Fprintf(&b, "%8.2f", n.DiskScale)
+		}
+		fmt.Fprintf(&b, "\n")
+		rows = append(rows, b.String())
+	}
+	return rows
+}
+
+// ---- Figure 8 --------------------------------------------------------
+
+// Figure8 returns the distribution spectrum for a configuration: the
+// anchor distributions and the interpolated walk (Figure 8's axis).
+func Figure8(spec cluster.Spec, total int, bpe int64, steps int) []dist.SpectrumPoint {
+	return dist.Spectrum(total, spec, bpe, steps)
+}
+
+// RenderFigure8 renders the walk for one configuration.
+func RenderFigure8(spec cluster.Spec, total int, bpe int64, steps int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: distribution spectrum on %s (total %d elements)\n", spec.Name, total)
+	for _, p := range Figure8(spec, total, bpe, steps) {
+		label := p.Label
+		if label == "" {
+			label = fmt.Sprintf("leg%d+%.2f", p.Leg, p.T)
+		}
+		fmt.Fprintf(&b, "  %-10s %v\n", label, p.Dist)
+	}
+	return b.String()
+}
+
+// ---- Figure 9 --------------------------------------------------------
+
+// Fig9Point is one x-position of a Figure 9 panel: the min/avg/max
+// percent difference across the aggregated sweeps.
+type Fig9Point struct {
+	XLabel string
+	stats.Summary
+}
+
+// Fig9Panel is one of the four Figure 9 graphs.
+type Fig9Panel struct {
+	Title  string
+	Points []Fig9Point
+	// OverallAvg is the average percent difference across the whole
+	// panel — the paper's "98% accurate" is 1 − OverallAvg.
+	OverallAvg float64
+	Sweeps     []SweepResult
+}
+
+// aggregate builds a panel from sweeps that all used the same full-walk
+// x-axis.
+func aggregate(title string, sweeps []SweepResult) Fig9Panel {
+	panel := Fig9Panel{Title: title, Sweeps: sweeps}
+	if len(sweeps) == 0 {
+		return panel
+	}
+	nPos := len(sweeps[0].Points)
+	var all []float64
+	for pos := 0; pos < nPos; pos++ {
+		var diffs []float64
+		for _, s := range sweeps {
+			diffs = append(diffs, s.Points[pos].Diff)
+		}
+		all = append(all, diffs...)
+		panel.Points = append(panel.Points, Fig9Point{
+			XLabel:  sweeps[0].Points[pos].XLabel(),
+			Summary: stats.Summarize(diffs),
+		})
+	}
+	panel.OverallAvg = stats.Mean(all)
+	return panel
+}
+
+// Figure9All runs the top-left panel: all four applications over the
+// seventeen emulated architectures, no prefetching.
+func (r *Runner) Figure9All() (Fig9Panel, error) {
+	var sweeps []SweepResult
+	for _, spec := range cluster.Sweep17() {
+		for _, ab := range PaperApps() {
+			s, err := r.Sweep(spec, ab, true)
+			if err != nil {
+				return Fig9Panel{}, err
+			}
+			sweeps = append(sweeps, s)
+		}
+	}
+	return aggregate("Figure 9 (top-left): all applications, no prefetching, 17 architectures", sweeps), nil
+}
+
+// Figure9Prefetch runs the top-right panel: Jacobi with prefetching over
+// the twelve I/O-relevant architectures.
+func (r *Runner) Figure9Prefetch() (Fig9Panel, error) {
+	var sweeps []SweepResult
+	for _, spec := range cluster.Sweep12() {
+		s, err := r.Sweep(spec, JacobiBuilder(true), true)
+		if err != nil {
+			return Fig9Panel{}, err
+		}
+		sweeps = append(sweeps, s)
+	}
+	return aggregate("Figure 9 (top-right): Jacobi with prefetching, 12 architectures", sweeps), nil
+}
+
+// Figure9App runs a bottom panel for one application over the seventeen
+// architectures (the paper shows RNA as the best case and CG the worst).
+func (r *Runner) Figure9App(ab AppBuilder) (Fig9Panel, error) {
+	var sweeps []SweepResult
+	for _, spec := range cluster.Sweep17() {
+		s, err := r.Sweep(spec, ab, true)
+		if err != nil {
+			return Fig9Panel{}, err
+		}
+		sweeps = append(sweeps, s)
+	}
+	return aggregate(fmt.Sprintf("Figure 9 (bottom): %s, 17 architectures", ab.Name), sweeps), nil
+}
+
+// RenderFig9 renders a panel as a text table.
+func RenderFig9(p Fig9Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	fmt.Fprintf(&b, "  %-12s %8s %8s %8s\n", "position", "min%", "avg%", "max%")
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, "  %-12s %8.2f %8.2f %8.2f\n", pt.XLabel, pt.Min*100, pt.Avg*100, pt.Max*100)
+	}
+	fmt.Fprintf(&b, "  overall average difference: %.2f%% (accuracy %.1f%%)\n",
+		p.OverallAvg*100, stats.Accuracy(p.OverallAvg)*100)
+	return b.String()
+}
+
+// ---- Figures 10 and 11 -----------------------------------------------
+
+// Fig1011 is one configuration's set of per-application sweeps on its
+// (possibly collapsed, §5.1) spectrum axis.
+type Fig1011 struct {
+	Title  string
+	Sweeps []SweepResult
+}
+
+// Figure10 runs configurations DC and IO for all four applications.
+func (r *Runner) Figure10() ([]Fig1011, error) {
+	return r.figConfigs("Figure 10", []cluster.Spec{cluster.DC(8), cluster.IO(8)})
+}
+
+// Figure11 runs configurations HY1 and HY2 for all four applications.
+func (r *Runner) Figure11() ([]Fig1011, error) {
+	return r.figConfigs("Figure 11", []cluster.Spec{cluster.HY1(8), cluster.HY2(8)})
+}
+
+func (r *Runner) figConfigs(fig string, specs []cluster.Spec) ([]Fig1011, error) {
+	var out []Fig1011
+	for _, spec := range specs {
+		f := Fig1011{Title: fmt.Sprintf("%s: configuration %s", fig, spec.Name)}
+		for _, ab := range PaperApps() {
+			s, err := r.Sweep(spec, ab, false)
+			if err != nil {
+				return nil, err
+			}
+			f.Sweeps = append(f.Sweeps, s)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// RenderFig1011 renders predicted-vs-actual series with the best
+// distributions circled as in the paper: "(best)" marks the best actual
+// point; "(pred-best)" marks the model's choice when it disagrees.
+func RenderFig1011(f Fig1011) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for _, s := range f.Sweeps {
+		ba, bp := s.BestActual(), s.BestPredicted()
+		fmt.Fprintf(&b, "  %s (worst/best actual ratio %.2fx)\n", s.App, s.Ratio())
+		fmt.Fprintf(&b, "    %-12s %10s %10s %8s\n", "position", "actual(s)", "pred(s)", "diff%")
+		for i, p := range s.Points {
+			mark := ""
+			if i == ba {
+				mark = " (best)"
+			}
+			if i == bp && bp != ba {
+				mark += " (pred-best)"
+			}
+			fmt.Fprintf(&b, "    %-12s %10.3f %10.3f %8.2f%s\n", p.XLabel(), p.Actual, p.Predicted, p.Diff*100, mark)
+		}
+	}
+	return b.String()
+}
+
+// ---- Headline numbers ------------------------------------------------
+
+// Accuracy summarises a set of sweeps into the headline average.
+type Accuracy struct {
+	PerApp  map[string]float64 // app → average percent difference
+	Overall float64
+}
+
+// AccuracySummary aggregates per-application accuracy over sweeps.
+func AccuracySummary(sweeps []SweepResult) Accuracy {
+	perApp := make(map[string][]float64)
+	var all []float64
+	for _, s := range sweeps {
+		d := s.Diffs()
+		perApp[s.App] = append(perApp[s.App], d...)
+		all = append(all, d...)
+	}
+	acc := Accuracy{PerApp: make(map[string]float64, len(perApp)), Overall: stats.Mean(all)}
+	for app, ds := range perApp {
+		acc.PerApp[app] = stats.Mean(ds)
+	}
+	return acc
+}
+
+// RatioRow is one best/worst-distribution spread measurement.
+type RatioRow struct {
+	Config, App string
+	Ratio       float64
+}
+
+// BestWorstRatios extracts the §5.3 headline: how much slower the worst
+// distribution is than the best, per (configuration, application).
+func BestWorstRatios(figs []Fig1011) []RatioRow {
+	var rows []RatioRow
+	for _, f := range figs {
+		for _, s := range f.Sweeps {
+			rows = append(rows, RatioRow{Config: s.Config, App: s.App, Ratio: s.Ratio()})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,140 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): the Table 1 configurations, the Figure 8 distribution
+// spectrum, the Figure 9 accuracy sweeps (all apps / prefetching Jacobi /
+// per-app best and worst cases), the Figure 10 and 11 predicted-vs-actual
+// series, and the headline numbers (98% accuracy, ~ms model evaluations,
+// up-to-4× best/worst spread), plus the companion-paper search study.
+//
+// Each experiment is exposed as a function returning structured results
+// with a text rendering, consumed by cmd/mheta-experiments and the root
+// benchmark suite.
+package experiments
+
+import (
+	"mheta/internal/apps"
+	"mheta/internal/exec"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// ScalePaper uses the §5.1 sizes and iteration counts (Jacobi 100,
+	// CG 10, Lanczos 5, RNA 10 iterations) at dataset sizes that exercise
+	// the Table 1 memory hierarchy.
+	ScalePaper Scale = iota
+	// ScaleQuick shrinks datasets and iteration counts (preserving the
+	// in-core/out-of-core structure on the Table 1 configurations) so the
+	// full harness runs in minutes; used by the benchmark suite.
+	ScaleQuick
+	// ScaleTest is smaller still, for unit tests.
+	ScaleTest
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScalePaper:
+		return "paper"
+	case ScaleQuick:
+		return "quick"
+	case ScaleTest:
+		return "test"
+	default:
+		return "unknown"
+	}
+}
+
+// AppBuilder names an application and builds it at a scale.
+type AppBuilder struct {
+	Name  string
+	Build func(Scale) *exec.App
+}
+
+// JacobiBuilder returns the Jacobi application (prefetch selects the
+// Figure 6 unrolled variant).
+func JacobiBuilder(prefetch bool) AppBuilder {
+	name := "Jacobi"
+	if prefetch {
+		name = "Jacobi-PF"
+	}
+	return AppBuilder{Name: name, Build: func(s Scale) *exec.App {
+		cfg := apps.DefaultJacobiConfig()
+		cfg.Prefetch = prefetch
+		switch s {
+		case ScaleQuick:
+			cfg.Rows, cfg.Cols, cfg.Iterations = 3072, 512, 20
+		case ScaleTest:
+			cfg.Rows, cfg.Cols, cfg.Iterations = 768, 96, 4
+		}
+		return apps.NewJacobi(cfg)
+	}}
+}
+
+// CGBuilder returns the NAS-CG application.
+func CGBuilder() AppBuilder {
+	return AppBuilder{Name: "CG", Build: func(s Scale) *exec.App {
+		cfg := apps.DefaultCGConfig()
+		switch s {
+		case ScaleQuick:
+			cfg.N, cfg.Iterations = 6144, 5
+		case ScaleTest:
+			cfg.N, cfg.Iterations = 1536, 3
+		}
+		return apps.NewCG(cfg)
+	}}
+}
+
+// LanczosBuilder returns the Lanczos application.
+func LanczosBuilder() AppBuilder {
+	return AppBuilder{Name: "Lanczos", Build: func(s Scale) *exec.App {
+		cfg := apps.DefaultLanczosConfig()
+		switch s {
+		case ScaleQuick:
+			cfg.N, cfg.Iterations = 1280, 3
+		case ScaleTest:
+			cfg.N, cfg.Iterations = 512, 2
+		}
+		return apps.NewLanczos(cfg)
+	}}
+}
+
+// RNABuilder returns the pipelined RNA application.
+func RNABuilder() AppBuilder {
+	return AppBuilder{Name: "RNA", Build: func(s Scale) *exec.App {
+		cfg := apps.DefaultRNAConfig()
+		switch s {
+		case ScaleQuick:
+			cfg.Rows, cfg.Cols, cfg.Iterations = 3072, 512, 5
+		case ScaleTest:
+			cfg.Rows, cfg.Cols, cfg.Iterations = 768, 128, 3
+		}
+		return apps.NewRNA(cfg)
+	}}
+}
+
+// MultigridBuilder returns the §6 future-work application (a two-grid
+// V-cycle), used by the extension experiments.
+func MultigridBuilder() AppBuilder {
+	return AppBuilder{Name: "Multigrid", Build: func(s Scale) *exec.App {
+		cfg := apps.DefaultMGConfig()
+		switch s {
+		case ScaleQuick:
+			cfg.Rows, cfg.Cols, cfg.Iterations = 3072, 512, 10
+		case ScaleTest:
+			cfg.Rows, cfg.Cols, cfg.Iterations = 512, 96, 3
+		}
+		return apps.NewMultigrid(cfg)
+	}}
+}
+
+// PaperApps returns the four evaluation applications in paper order.
+func PaperApps() []AppBuilder {
+	return []AppBuilder{JacobiBuilder(false), CGBuilder(), LanczosBuilder(), RNABuilder()}
+}
+
+// AllApps returns the paper's four applications plus the Multigrid
+// extension.
+func AllApps() []AppBuilder {
+	return append(PaperApps(), MultigridBuilder())
+}

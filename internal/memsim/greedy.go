@@ -1,0 +1,114 @@
+package memsim
+
+import "sort"
+
+// PlanGreedy is the *runtime's* residency planner: the behaviour the
+// emulated application actually exhibits, as opposed to Plan, the simple
+// proportional heuristic MHETA uses (§5.4 limitation 2: "its algorithm to
+// determine which variables are out of core is not sophisticated,
+// occasionally placing what should be an out-of-core variable in the
+// in-core variable set").
+//
+// Greedy strategy: pin whole variables in memory smallest-first while they
+// fit (small vectors deserve residency before huge matrices), then divide
+// the remaining budget equally among the out-of-core variables as their
+// ICLAs. Where Plan and PlanGreedy disagree — boundary cases with several
+// distributed variables — MHETA under- or over-predicts I/O exactly as the
+// paper describes.
+func PlanGreedy(b Budget, varBytes map[string]int64, elemSize map[string]int64) map[string]Layout {
+	names := make([]string, 0, len(varBytes))
+	for n := range varBytes {
+		names = append(names, n)
+	}
+	// Smallest-first; ties by name for determinism.
+	sort.Slice(names, func(i, j int) bool {
+		if varBytes[names[i]] != varBytes[names[j]] {
+			return varBytes[names[i]] < varBytes[names[j]]
+		}
+		return names[i] < names[j]
+	})
+
+	out := make(map[string]Layout, len(varBytes))
+	remaining := b.Capacity
+	var ooc []string
+	for _, n := range names {
+		sz := varBytes[n]
+		switch {
+		case sz == 0:
+			out[n] = Layout{Variable: n, InCore: true}
+		case sz <= remaining:
+			out[n] = Layout{Variable: n, OCLABytes: sz, ICLABytes: sz, Passes: 1, InCore: true}
+			remaining -= sz
+		default:
+			ooc = append(ooc, n)
+		}
+	}
+	if len(ooc) == 0 {
+		return out
+	}
+	share := remaining / int64(len(ooc))
+	for _, n := range ooc {
+		sz := varBytes[n]
+		es := elemSize[n]
+		if es <= 0 {
+			es = 1
+		}
+		icla := share - share%es
+		if icla < es {
+			icla = es // always at least one element of progress
+		}
+		if icla > sz {
+			icla = sz
+		}
+		l := Layout{Variable: n, OCLABytes: sz, ICLABytes: icla}
+		if icla >= sz {
+			l.Passes = 1
+			l.InCore = true
+		} else {
+			l.Passes = int(CeilDiv(sz, icla))
+		}
+		out[n] = l
+	}
+	return out
+}
+
+// Stream describes how a stage's ICLA loop chunks one out-of-core
+// variable, possibly within a tile of a pipelined section where each tile
+// touches a 1/tiles-wide strip of every row.
+type Stream struct {
+	// ChunkElems is how many elements (rows) one in-core chunk holds.
+	ChunkElems int
+	// ChunksPerTile is NR for one tile: ceil(localElems/ChunkElems).
+	ChunksPerTile int
+	// StripBytes is the on-disk bytes of one element within one tile
+	// (ElemBytes/tiles).
+	StripBytes int64
+}
+
+// StreamPlan computes the chunking for a variable with localElems local
+// elements of elemBytes each, an in-core allowance of iclaBytes, streamed
+// across the given number of tiles. This is shared program-structure
+// arithmetic: MHETA legitimately knows it too (the paper computes NR from
+// OCLA and ICLA sizes), so the model and the executor both call it — with
+// their *own* ICLA inputs, which is where they can disagree.
+func StreamPlan(localElems int, elemBytes, iclaBytes int64, tiles int) Stream {
+	if tiles < 1 {
+		tiles = 1
+	}
+	strip := elemBytes / int64(tiles)
+	if strip <= 0 {
+		strip = 1
+	}
+	ce := int(iclaBytes / strip)
+	if ce < 1 {
+		ce = 1
+	}
+	if ce > localElems && localElems > 0 {
+		ce = localElems
+	}
+	s := Stream{ChunkElems: ce, StripBytes: strip}
+	if localElems > 0 {
+		s.ChunksPerTile = int(CeilDiv(int64(localElems), int64(ce)))
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+// Package memsim models per-node memory capacity and implements the
+// in-core / out-of-core accounting the paper builds on (§3.1): the Local
+// Array (LA) is the node's block of a distributed variable; if it does not
+// fit in the node's memory budget it becomes an Out-of-Core Local Array
+// (OCLA) processed in In-Core Local Array (ICLA) sized pieces, and the
+// number of disk passes is NR = ceil(OCLA/ICLA).
+//
+// The in-core heuristic is deliberately simple, as the paper's is: §5.4
+// names it as MHETA's second limitation ("its algorithm to determine which
+// variables are out of core is not sophisticated"). We reproduce both the
+// heuristic and, therefore, the error structure it causes.
+package memsim
+
+import "fmt"
+
+// Budget is one node's memory capacity in bytes available to the
+// application for its ICLAs (the paper emulates small memories by capping
+// exactly this quantity).
+type Budget struct {
+	Capacity int64
+}
+
+// Layout describes how one distributed variable lives on one node under a
+// given distribution.
+type Layout struct {
+	Variable string
+	// OCLABytes is the size of the node's full local array on disk.
+	OCLABytes int64
+	// ICLABytes is the size of the in-core piece; equal to OCLABytes when
+	// the variable is in core.
+	ICLABytes int64
+	// Passes is NR: how many ICLA-sized pieces must be read (and possibly
+	// written) to process the whole local array. 1 for in-core variables
+	// (the single compulsory read).
+	Passes int
+	// InCore reports whether the whole local array fits in the budget
+	// share assigned to this variable.
+	InCore bool
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("memsim: CeilDiv by %d", b))
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Plan is MHETA's in-core heuristic — deliberately unsophisticated, as
+// the paper's is (§4.2.1: "MHETA currently uses a simple heuristic to
+// determine if v is out of core for a given distribution. MHETA
+// calculates its ICLA based on the memory capacity of the node and its
+// OCLA size"). Each variable is judged *independently*: it is in core iff
+// its own local array fits in the node's whole capacity, and when out of
+// core its ICLA is the whole capacity, ignoring co-resident variables.
+//
+// The real runtime packs variables jointly (PlanGreedy), so in boundary
+// cases this heuristic declares a variable in core that the runtime
+// actually streams — MHETA then charges zero I/O and under-predicts,
+// exactly the §5.4 limitation-2 error, which shrinks as distributions
+// shift nodes into core.
+//
+// varBytes maps variable name → local array bytes on this node;
+// elemSize maps variable name → bytes per element (ICLA granularity).
+func Plan(b Budget, varBytes map[string]int64, elemSize map[string]int64) map[string]Layout {
+	out := make(map[string]Layout, len(varBytes))
+	for name, ocla := range varBytes {
+		l := PlanVar(b, ocla, elemSize[name])
+		l.Variable = name
+		out[name] = l
+	}
+	return out
+}
+
+// PlanVar applies the independent heuristic to a single variable —
+// allocation-free, for the model's hot evaluation path.
+func PlanVar(b Budget, oclaBytes, elemSize int64) Layout {
+	if elemSize <= 0 {
+		elemSize = 1
+	}
+	l := Layout{OCLABytes: oclaBytes}
+	switch {
+	case oclaBytes == 0:
+		l.InCore = true
+	case oclaBytes <= b.Capacity:
+		l.ICLABytes = oclaBytes
+		l.Passes = 1
+		l.InCore = true
+	default:
+		icla := b.Capacity - b.Capacity%elemSize
+		if icla < elemSize {
+			icla = elemSize
+		}
+		l.ICLABytes = icla
+		l.Passes = int(CeilDiv(oclaBytes, icla))
+	}
+	return l
+}
+
+// InCoreAll reports whether every variable in the plan is in core — the
+// paper's definition of an in-core *application* on this node.
+func InCoreAll(plan map[string]Layout) bool {
+	for _, l := range plan {
+		if !l.InCore {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalPasses sums the disk passes across variables — a convenience for
+// tests asserting the I-C distribution eliminates I/O.
+func TotalPasses(plan map[string]Layout) int {
+	n := 0
+	for _, l := range plan {
+		n += l.Passes
+	}
+	return n
+}

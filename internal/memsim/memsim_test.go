@@ -1,0 +1,253 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{10, 5, 2}, {11, 5, 3}, {1, 5, 1}, {0, 5, 0}, {-3, 5, 0},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv(1,0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestPlanInCoreWhenFits(t *testing.T) {
+	plan := Plan(Budget{Capacity: 1000},
+		map[string]int64{"a": 400}, map[string]int64{"a": 8})
+	l := plan["a"]
+	if !l.InCore || l.Passes != 1 || l.ICLABytes != 400 {
+		t.Fatalf("layout %+v", l)
+	}
+}
+
+func TestPlanOutOfCoreWhenTooBig(t *testing.T) {
+	plan := Plan(Budget{Capacity: 1000},
+		map[string]int64{"a": 2500}, map[string]int64{"a": 100})
+	l := plan["a"]
+	if l.InCore {
+		t.Fatal("2500 bytes cannot be in a 1000-byte budget")
+	}
+	if l.ICLABytes != 1000 {
+		t.Fatalf("ICLA = %d, want 1000 (whole capacity)", l.ICLABytes)
+	}
+	if l.Passes != 3 {
+		t.Fatalf("Passes = %d, want 3", l.Passes)
+	}
+}
+
+func TestPlanICLARoundedToElements(t *testing.T) {
+	plan := Plan(Budget{Capacity: 1000},
+		map[string]int64{"a": 5000}, map[string]int64{"a": 300})
+	l := plan["a"]
+	if l.ICLABytes != 900 {
+		t.Fatalf("ICLA = %d, want 900 (3 whole elements)", l.ICLABytes)
+	}
+}
+
+func TestPlanJudgesVariablesIndependently(t *testing.T) {
+	// The paper's simple heuristic: each variable is checked against the
+	// whole capacity, ignoring co-residents. Two 600-byte variables in a
+	// 1000-byte budget are both "in core" — the §5.4 misclassification.
+	plan := Plan(Budget{Capacity: 1000},
+		map[string]int64{"a": 600, "b": 600},
+		map[string]int64{"a": 8, "b": 8})
+	if !plan["a"].InCore || !plan["b"].InCore {
+		t.Fatal("independent heuristic must (wrongly) call both in core")
+	}
+}
+
+func TestPlanGreedyPacksJointly(t *testing.T) {
+	// The runtime's planner sees the conflict the model misses.
+	plan := PlanGreedy(Budget{Capacity: 1000},
+		map[string]int64{"a": 600, "b": 600},
+		map[string]int64{"a": 8, "b": 8})
+	inCore := 0
+	for _, l := range plan {
+		if l.InCore {
+			inCore++
+		}
+	}
+	if inCore != 1 {
+		t.Fatalf("greedy packed %d of 2 vars in core, want exactly 1", inCore)
+	}
+}
+
+func TestPlanGreedySmallestFirst(t *testing.T) {
+	plan := PlanGreedy(Budget{Capacity: 1000},
+		map[string]int64{"big": 900, "small": 200},
+		map[string]int64{"big": 8, "small": 8})
+	if !plan["small"].InCore {
+		t.Fatal("smallest variable must be pinned first")
+	}
+	if plan["big"].InCore {
+		t.Fatal("big variable cannot also fit")
+	}
+	// Big gets the leftover 800 as its ICLA.
+	if plan["big"].ICLABytes != 800 {
+		t.Fatalf("big ICLA = %d, want 800", plan["big"].ICLABytes)
+	}
+}
+
+func TestPlanGreedyZeroAndMinimumProgress(t *testing.T) {
+	plan := PlanGreedy(Budget{Capacity: 10},
+		map[string]int64{"v": 1000, "z": 0},
+		map[string]int64{"v": 64, "z": 8})
+	if !plan["z"].InCore {
+		t.Fatal("zero-size variable must be in core")
+	}
+	l := plan["v"]
+	if l.InCore {
+		t.Fatal("v cannot fit")
+	}
+	if l.ICLABytes != 64 {
+		t.Fatalf("ICLA = %d, want one element (64)", l.ICLABytes)
+	}
+}
+
+func TestInCoreAllAndTotalPasses(t *testing.T) {
+	plan := Plan(Budget{Capacity: 100},
+		map[string]int64{"a": 50, "b": 300},
+		map[string]int64{"a": 10, "b": 10})
+	if InCoreAll(plan) {
+		t.Fatal("b is out of core")
+	}
+	if got := TotalPasses(plan); got != 1+3 {
+		t.Fatalf("TotalPasses = %d, want 4", got)
+	}
+}
+
+func TestPlanPassesCoverOCLAProperty(t *testing.T) {
+	f := func(capacity uint16, ocla uint32, elem uint8) bool {
+		cap64 := int64(capacity) + 1
+		o := int64(ocla)%(1<<20) + 1
+		e := int64(elem)%256 + 1
+		for _, plan := range []map[string]Layout{
+			Plan(Budget{Capacity: cap64}, map[string]int64{"v": o}, map[string]int64{"v": e}),
+			PlanGreedy(Budget{Capacity: cap64}, map[string]int64{"v": o}, map[string]int64{"v": e}),
+		} {
+			l := plan["v"]
+			if l.ICLABytes <= 0 || l.Passes <= 0 {
+				return false
+			}
+			// Passes of ICLA size must cover the OCLA.
+			if int64(l.Passes)*l.ICLABytes < l.OCLABytes {
+				return false
+			}
+			// One fewer pass must not suffice.
+			if !l.InCore && int64(l.Passes-1)*l.ICLABytes >= l.OCLABytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamPlanBasics(t *testing.T) {
+	s := StreamPlan(100, 80, 400, 1)
+	if s.StripBytes != 80 {
+		t.Fatalf("strip = %d", s.StripBytes)
+	}
+	if s.ChunkElems != 5 {
+		t.Fatalf("chunkElems = %d, want 5", s.ChunkElems)
+	}
+	if s.ChunksPerTile != 20 {
+		t.Fatalf("chunks = %d, want 20", s.ChunksPerTile)
+	}
+}
+
+func TestStreamPlanTiled(t *testing.T) {
+	// 8 tiles: each element's strip is 10 bytes; a 400-byte ICLA holds 40
+	// strips.
+	s := StreamPlan(100, 80, 400, 8)
+	if s.StripBytes != 10 || s.ChunkElems != 40 || s.ChunksPerTile != 3 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestStreamPlanClampsToLocalElems(t *testing.T) {
+	s := StreamPlan(3, 80, 10000, 1)
+	if s.ChunkElems != 3 || s.ChunksPerTile != 1 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestStreamPlanMinimumOneElement(t *testing.T) {
+	s := StreamPlan(10, 100, 5, 1) // ICLA smaller than one element
+	if s.ChunkElems != 1 || s.ChunksPerTile != 10 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestStreamPlanZeroElems(t *testing.T) {
+	s := StreamPlan(0, 100, 500, 1)
+	if s.ChunksPerTile != 0 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestStreamPlanCoversAllElementsProperty(t *testing.T) {
+	f := func(elems uint16, elemB uint8, icla uint16, tiles uint8) bool {
+		n := int(elems)%5000 + 1
+		eb := int64(elemB)%512 + 8
+		ic := int64(icla) + 1
+		tl := int(tiles)%8 + 1
+		s := StreamPlan(n, eb, ic, tl)
+		if s.ChunkElems < 1 {
+			return false
+		}
+		// Chunks cover exactly all elements with the last possibly short.
+		return s.ChunksPerTile*s.ChunkElems >= n &&
+			(s.ChunksPerTile-1)*s.ChunkElems < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanVarDirect(t *testing.T) {
+	b := Budget{Capacity: 1000}
+	l := PlanVar(b, 500, 100)
+	if !l.InCore || l.Passes != 1 || l.ICLABytes != 500 {
+		t.Fatalf("in-core layout %+v", l)
+	}
+	l = PlanVar(b, 2500, 100)
+	if l.InCore || l.ICLABytes != 1000 || l.Passes != 3 {
+		t.Fatalf("ooc layout %+v", l)
+	}
+	l = PlanVar(b, 0, 100)
+	if !l.InCore || l.Passes != 0 {
+		t.Fatalf("zero layout %+v", l)
+	}
+	// Element size larger than the budget: one-element progress.
+	l = PlanVar(Budget{Capacity: 10}, 300, 100)
+	if l.ICLABytes != 100 || l.Passes != 3 {
+		t.Fatalf("minimum-progress layout %+v", l)
+	}
+}
+
+func TestPlanMatchesPlanVar(t *testing.T) {
+	b := Budget{Capacity: 4096}
+	plan := Plan(b, map[string]int64{"v": 10000}, map[string]int64{"v": 64})
+	single := PlanVar(b, 10000, 64)
+	got := plan["v"]
+	if got.ICLABytes != single.ICLABytes || got.Passes != single.Passes || got.InCore != single.InCore {
+		t.Fatalf("Plan %+v vs PlanVar %+v", got, single)
+	}
+}

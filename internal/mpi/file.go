@@ -1,0 +1,50 @@
+package mpi
+
+// File operations: the MPI-IO analogue. Applications make explicit calls
+// to read and write their local arrays (§3.1: "we assume the applications
+// make explicit calls to read and write from disk"), and these calls are
+// what MPI-Jack intercepts in Figure 3 to associate I/O latencies with
+// variable IDs.
+
+// FileRead synchronously reads n bytes of variable v at byte offset off
+// from the rank's local disk and returns them.
+func (r *Rank) FileRead(v string, off, n int) []byte {
+	ci := &CallInfo{Kind: CallFileRead, Var: v, Bytes: n}
+	r.pre(ci)
+	data, _ := r.disk.Read(r.clk, v, off, n)
+	r.post(ci)
+	return data
+}
+
+// FileWrite synchronously writes data into variable v at byte offset off.
+func (r *Rank) FileWrite(v string, off int, data []byte) {
+	ci := &CallInfo{Kind: CallFileWrite, Var: v, Bytes: len(data)}
+	r.pre(ci)
+	r.disk.Write(r.clk, v, off, data)
+	r.post(ci)
+}
+
+// FilePrefetchIssue starts an asynchronous read of variable v and returns
+// a handle for FilePrefetchWait. Under the instrumentation transform
+// (disksim.ModeInstrument) the issue blocks like a synchronous read, as in
+// Figure 5.
+func (r *Rank) FilePrefetchIssue(v string, off, n int) int {
+	ci := &CallInfo{Kind: CallPrefetchIssue, Var: v, Bytes: n}
+	r.pre(ci)
+	tag := r.disk.PrefetchIssue(r.clk, v, off, n)
+	r.post(ci)
+	return tag
+}
+
+// FilePrefetchWait blocks until the prefetch completes and returns its
+// data. The CallInfo's Wait field carries the unmasked latency (zero when
+// overlap computation fully hid the read — the Le = 0 case of Equation 2).
+func (r *Rank) FilePrefetchWait(v string, tag int) []byte {
+	ci := &CallInfo{Kind: CallPrefetchWait, Var: v}
+	r.pre(ci)
+	data, waited := r.disk.PrefetchWait(r.clk, tag)
+	ci.Bytes = len(data)
+	ci.Wait = waited
+	r.post(ci)
+	return data
+}

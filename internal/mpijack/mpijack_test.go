@@ -1,0 +1,212 @@
+package mpijack
+
+import (
+	"testing"
+
+	"mheta/internal/mpi"
+)
+
+func TestHooksDispatchByKind(t *testing.T) {
+	j := New()
+	var pre, post int
+	j.PreHook(mpi.CallSend, func(ctx Context, ci *mpi.CallInfo) { pre++ })
+	j.PostHook(mpi.CallSend, func(ctx Context, ci *mpi.CallInfo) { post++ })
+
+	send := &mpi.CallInfo{Kind: mpi.CallSend}
+	recv := &mpi.CallInfo{Kind: mpi.CallRecv}
+	j.Pre(send)
+	j.Post(send)
+	j.Pre(recv) // no hook registered: must be a no-op
+	j.Post(recv)
+	if pre != 1 || post != 1 {
+		t.Fatalf("pre=%d post=%d", pre, post)
+	}
+}
+
+func TestMultipleHooksRunInOrder(t *testing.T) {
+	j := New()
+	var order []int
+	j.PostHook(mpi.CallCompute, func(ctx Context, ci *mpi.CallInfo) { order = append(order, 1) })
+	j.PostHook(mpi.CallCompute, func(ctx Context, ci *mpi.CallInfo) { order = append(order, 2) })
+	j.Post(&mpi.CallInfo{Kind: mpi.CallCompute})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestContextTracking(t *testing.T) {
+	j := New()
+	j.EnterSection(2)
+	j.EnterTile(3)
+	j.EnterStage(1)
+	ctx := j.Ctx()
+	if ctx.Section != 2 || ctx.Tile != 3 || ctx.Stage != 1 || !ctx.InStage {
+		t.Fatalf("ctx %+v", ctx)
+	}
+	j.LeaveStage()
+	if j.Ctx().InStage {
+		t.Fatal("InStage not cleared")
+	}
+	j.LeaveSection()
+	ctx = j.Ctx()
+	if ctx.Tile != 0 || ctx.Stage != 0 {
+		t.Fatalf("ctx after LeaveSection %+v", ctx)
+	}
+}
+
+func TestHooksSeeCurrentContext(t *testing.T) {
+	j := New()
+	var seen Context
+	j.PostHook(mpi.CallFileRead, func(ctx Context, ci *mpi.CallInfo) { seen = ctx })
+	j.EnterSection(1)
+	j.EnterTile(2)
+	j.EnterStage(0)
+	j.Post(&mpi.CallInfo{Kind: mpi.CallFileRead, Var: "A"})
+	if seen.Section != 1 || seen.Tile != 2 || seen.Stage != 0 {
+		t.Fatalf("hook saw %+v", seen)
+	}
+}
+
+func TestCollectiveSuppressesNestedPointToPoint(t *testing.T) {
+	j := New()
+	var sends, reduces int
+	j.PostHook(mpi.CallSend, func(ctx Context, ci *mpi.CallInfo) { sends++ })
+	j.PostHook(mpi.CallReduce, func(ctx Context, ci *mpi.CallInfo) { reduces++ })
+
+	// Simulate the call sequence of a Reduce containing one Send.
+	red := &mpi.CallInfo{Kind: mpi.CallReduce}
+	snd := &mpi.CallInfo{Kind: mpi.CallSend}
+	j.Pre(red)
+	j.Pre(snd)
+	j.Post(snd)
+	j.Post(red)
+	if sends != 0 {
+		t.Fatalf("nested send recorded %d times, want 0", sends)
+	}
+	if reduces != 1 {
+		t.Fatalf("reduce recorded %d times, want 1", reduces)
+	}
+	// After the collective, plain sends are visible again.
+	j.Pre(snd)
+	j.Post(snd)
+	if sends != 1 {
+		t.Fatalf("post-collective send recorded %d times", sends)
+	}
+}
+
+func TestNestedCollectives(t *testing.T) {
+	// Allreduce = Reduce inside... our Barrier wraps Allreduce wraps
+	// Reduce/Bcast: only the outermost is recorded.
+	j := New()
+	var barriers, reduces int
+	j.PostHook(mpi.CallBarrier, func(ctx Context, ci *mpi.CallInfo) { barriers++ })
+	j.PostHook(mpi.CallReduce, func(ctx Context, ci *mpi.CallInfo) { reduces++ })
+	bar := &mpi.CallInfo{Kind: mpi.CallBarrier}
+	red := &mpi.CallInfo{Kind: mpi.CallReduce}
+	j.Pre(bar)
+	j.Pre(red)
+	j.Post(red)
+	j.Post(bar)
+	if barriers != 1 || reduces != 0 {
+		t.Fatalf("barriers=%d reduces=%d", barriers, reduces)
+	}
+}
+
+func TestRecorderAccumulatesIO(t *testing.T) {
+	rec := NewRecorder(0)
+	j := New()
+	rec.Attach(j)
+	j.EnterSection(0)
+	j.EnterStage(0)
+	j.Post(&mpi.CallInfo{Kind: mpi.CallFileRead, Var: "A", Bytes: 100, Start: 0, End: 0.5})
+	j.Post(&mpi.CallInfo{Kind: mpi.CallFileRead, Var: "A", Bytes: 50, Start: 1, End: 1.25})
+	j.Post(&mpi.CallInfo{Kind: mpi.CallFileWrite, Var: "A", Bytes: 100, Start: 2, End: 2.1})
+
+	r := rec.IO[IOKey{0, 0, 0, "A"}]
+	if r == nil {
+		t.Fatal("no record")
+	}
+	if r.ReadCalls != 2 || r.ReadBytes != 150 || float64(r.ReadTime) != 0.75 {
+		t.Fatalf("read record %+v", r)
+	}
+	if r.WriteCalls != 1 || r.WriteBytes != 100 {
+		t.Fatalf("write record %+v", r)
+	}
+}
+
+func TestRecorderPrefetchIssueCountsAsRead(t *testing.T) {
+	rec := NewRecorder(0)
+	j := New()
+	rec.Attach(j)
+	j.Post(&mpi.CallInfo{Kind: mpi.CallPrefetchIssue, Var: "B", Bytes: 64, Start: 0, End: 0.2})
+	r := rec.IO[IOKey{0, 0, 0, "B"}]
+	if r == nil || r.ReadCalls != 1 || r.PrefetchIssues != 1 || r.ReadBytes != 64 {
+		t.Fatalf("record %+v", r)
+	}
+}
+
+func TestRecorderCommAndPeers(t *testing.T) {
+	rec := NewRecorder(0)
+	j := New()
+	rec.Attach(j)
+	j.EnterSection(1)
+	j.Post(&mpi.CallInfo{Kind: mpi.CallSend, Peer: 2, Bytes: 10, Start: 0, End: 0.1})
+	j.Post(&mpi.CallInfo{Kind: mpi.CallRecv, Peer: 3, Bytes: 20, Start: 0, End: 0.3, Wait: 0.2})
+	c := rec.Comm[[2]int{1, 0}]
+	if c == nil {
+		t.Fatal("no comm record")
+	}
+	if c.Sends != 1 || c.Recvs != 1 || c.SendBytes != 10 || c.RecvBytes != 20 {
+		t.Fatalf("comm %+v", c)
+	}
+	if float64(c.WaitTime) != 0.2 {
+		t.Fatalf("wait %v", c.WaitTime)
+	}
+	if !c.Peers[2] || !c.Peers[3] {
+		t.Fatalf("peers %v — §4.1.2 nID extraction broken", c.Peers)
+	}
+}
+
+func TestRecorderReduction(t *testing.T) {
+	rec := NewRecorder(0)
+	j := New()
+	rec.Attach(j)
+	j.EnterSection(2)
+	// The reduce goes through Pre to bump depth, then Post records it.
+	ci := &mpi.CallInfo{Kind: mpi.CallReduce, Bytes: 8, Start: 0, End: 0.4}
+	j.Pre(ci)
+	j.Post(ci)
+	c := rec.Comm[[2]int{2, 0}]
+	if c == nil || c.Reductions != 1 || c.ReduceBytes != 8 {
+		t.Fatalf("reduction record %+v", c)
+	}
+}
+
+func TestRecordStageSpanAccumulates(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.RecordStageSpan(0, 0, 1, 0.5)
+	rec.RecordStageSpan(0, 1, 1, 0.25) // second tile, same stage
+	if got := rec.StageSpans[[3]int{0, 0, 1}]; float64(got) != 0.5 {
+		t.Fatalf("span %v", got)
+	}
+	if got := rec.StageSpans[[3]int{0, 1, 1}]; float64(got) != 0.25 {
+		t.Fatalf("span %v", got)
+	}
+}
+
+func TestRecordOverlap(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.RecordOverlap(0, 0, 0, "B", 0.3, 10)
+	rec.RecordOverlap(0, 0, 0, "B", 0.1, 5)
+	r := rec.IO[IOKey{0, 0, 0, "B"}]
+	if float64(r.OverlapCompute) != 0.4 || r.OverlapElems != 15 {
+		t.Fatalf("overlap %+v", r)
+	}
+}
+
+func TestIOKeyString(t *testing.T) {
+	k := IOKey{1, 2, 3, "A"}
+	if k.String() != "P1/T2/S3/A" {
+		t.Fatalf("got %s", k.String())
+	}
+}

@@ -1,0 +1,131 @@
+// Package netsim models the cluster interconnect.
+//
+// MHETA parameterises communication with exactly three quantities per
+// message m (§4.1, §4.2.2): the send overhead os(m), the receive overhead
+// or(m), and the in-flight transfer time. The paper measures the fixed
+// parts with micro-benchmarks once per cluster ("we assume these values
+// are relatively constant in our dedicated environment") and the
+// per-message parts follow from message size.
+//
+// netsim is the ground truth those micro-benchmarks measure: the emulator
+// charges costs from a Network, and instrument.MicroBenchmark recovers the
+// parameters by timing emulated ping-pongs, mirroring the paper's
+// methodology instead of copying the configured constants.
+package netsim
+
+import (
+	"fmt"
+
+	"mheta/internal/vclock"
+)
+
+// Params describes a (possibly per-link) network cost model:
+//
+//	send cost     = SendOverhead + bytes·PerByteSend
+//	transfer time = Latency + bytes·PerByteWire
+//	receive cost  = RecvOverhead + bytes·PerByteRecv
+//
+// SendOverhead covers preparing and copying the message into a system
+// buffer (the "fixed overhead" of §4.2.2); PerByteSend covers the copy
+// itself growing with message size. Latency is the one-way wire latency.
+type Params struct {
+	SendOverhead vclock.Duration // fixed cost on the sender, seconds
+	RecvOverhead vclock.Duration // fixed cost on the receiver, seconds
+	Latency      vclock.Duration // one-way wire latency, seconds
+	PerByteSend  vclock.Duration // sender-side cost per byte
+	PerByteRecv  vclock.Duration // receiver-side cost per byte
+	PerByteWire  vclock.Duration // wire time per byte (1/bandwidth)
+}
+
+// DefaultParams returns costs typical of the paper's era (100 Mbit
+// switched Ethernet, LAM-MPI): ~60 µs fixed overheads, ~80 µs latency,
+// ~0.08 µs/byte on the wire (~12 MB/s effective).
+func DefaultParams() Params {
+	return Params{
+		SendOverhead: 60e-6,
+		RecvOverhead: 55e-6,
+		Latency:      80e-6,
+		PerByteSend:  4e-9,
+		PerByteRecv:  4e-9,
+		PerByteWire:  80e-9,
+	}
+}
+
+// SendCost returns the time the sending rank is busy for a message of the
+// given size.
+func (p Params) SendCost(bytes int) vclock.Duration {
+	return p.SendOverhead + vclock.Duration(bytes)*p.PerByteSend
+}
+
+// RecvCost returns the time the receiving rank is busy once the message
+// has arrived.
+func (p Params) RecvCost(bytes int) vclock.Duration {
+	return p.RecvOverhead + vclock.Duration(bytes)*p.PerByteRecv
+}
+
+// TransferTime returns the in-flight time for a message of the given size.
+func (p Params) TransferTime(bytes int) vclock.Duration {
+	return p.Latency + vclock.Duration(bytes)*p.PerByteWire
+}
+
+// Network is the interconnect of an emulated cluster: a full crossbar with
+// per-link parameters (uniform by default) and optional noise streams.
+// The zero value is not usable; construct with New.
+type Network struct {
+	n      int
+	params [][]Params // params[src][dst]
+	noise  *vclock.Noise
+}
+
+// New builds a network of n ranks with uniform parameters p. A nil noise
+// stream disables perturbation (used for the model's idealised view).
+func New(n int, p Params, noise *vclock.Noise) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: invalid rank count %d", n))
+	}
+	rows := make([][]Params, n)
+	for i := range rows {
+		rows[i] = make([]Params, n)
+		for j := range rows[i] {
+			rows[i][j] = p
+		}
+	}
+	return &Network{n: n, params: rows, noise: noise}
+}
+
+// Size returns the number of ranks the network connects.
+func (nw *Network) Size() int { return nw.n }
+
+// SetLink overrides the parameters for the directed link src→dst.
+func (nw *Network) SetLink(src, dst int, p Params) {
+	nw.params[src][dst] = p
+}
+
+// Link returns the parameters for the directed link src→dst.
+func (nw *Network) Link(src, dst int) Params {
+	return nw.params[src][dst]
+}
+
+// perturb applies the network noise stream, if any.
+func (nw *Network) perturb(d vclock.Duration) vclock.Duration {
+	if nw.noise == nil {
+		return d
+	}
+	return nw.noise.Perturb(d)
+}
+
+// SendCost returns the (possibly perturbed) sender busy time for a message
+// src→dst of the given size.
+func (nw *Network) SendCost(src, dst, bytes int) vclock.Duration {
+	return nw.perturb(nw.params[src][dst].SendCost(bytes))
+}
+
+// RecvCost returns the (possibly perturbed) receiver busy time.
+func (nw *Network) RecvCost(src, dst, bytes int) vclock.Duration {
+	return nw.perturb(nw.params[src][dst].RecvCost(bytes))
+}
+
+// TransferTime returns the (possibly perturbed) in-flight time.
+func (nw *Network) TransferTime(src, dst, bytes int) vclock.Duration {
+	return nw.perturb(nw.params[src][dst].TransferTime(bytes))
+}

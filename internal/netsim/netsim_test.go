@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mheta/internal/vclock"
+)
+
+func approx(t *testing.T, what string, got, want vclock.Duration) {
+	t.Helper()
+	if d := float64(got - want); d < -1e-15 || d > 1e-15 {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestParamsCosts(t *testing.T) {
+	p := Params{
+		SendOverhead: 10e-6, RecvOverhead: 5e-6, Latency: 100e-6,
+		PerByteSend: 1e-9, PerByteRecv: 2e-9, PerByteWire: 10e-9,
+	}
+	approx(t, "SendCost", p.SendCost(1000), 10e-6+1000e-9)
+	approx(t, "RecvCost", p.RecvCost(1000), 5e-6+2000e-9)
+	approx(t, "TransferTime", p.TransferTime(1000), 100e-6+10000e-9)
+}
+
+func TestZeroByteCostsAreFixedOverheads(t *testing.T) {
+	p := DefaultParams()
+	if p.SendCost(0) != p.SendOverhead {
+		t.Fatal("zero-byte send cost must equal fixed overhead")
+	}
+	if p.TransferTime(0) != p.Latency {
+		t.Fatal("zero-byte transfer must equal latency")
+	}
+}
+
+func TestCostsMonotoneInSize(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.SendCost(x) <= p.SendCost(y) &&
+			p.RecvCost(x) <= p.RecvCost(y) &&
+			p.TransferTime(x) <= p.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkUniformDefault(t *testing.T) {
+	nw := New(4, DefaultParams(), nil)
+	if nw.Size() != 4 {
+		t.Fatalf("Size = %d", nw.Size())
+	}
+	want := DefaultParams().SendCost(128)
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if got := nw.SendCost(s, d, 128); got != want {
+				t.Fatalf("link %d->%d SendCost %v, want %v", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestNetworkSetLink(t *testing.T) {
+	nw := New(3, DefaultParams(), nil)
+	slow := DefaultParams()
+	slow.Latency *= 10
+	nw.SetLink(0, 2, slow)
+	if nw.Link(0, 2).Latency != slow.Latency {
+		t.Fatal("SetLink did not stick")
+	}
+	if nw.Link(2, 0).Latency != DefaultParams().Latency {
+		t.Fatal("SetLink must be directional")
+	}
+	if nw.TransferTime(0, 2, 0) != slow.Latency {
+		t.Fatal("TransferTime ignores per-link params")
+	}
+}
+
+func TestNetworkNoisePerturbs(t *testing.T) {
+	noisy := New(2, DefaultParams(), vclock.NewNoise(1, 0.05))
+	base := DefaultParams().SendCost(4096)
+	varied := false
+	for i := 0; i < 50; i++ {
+		got := noisy.SendCost(0, 1, 4096)
+		if got != base {
+			varied = true
+		}
+		lo := vclock.Duration(float64(base) * 0.95)
+		hi := vclock.Duration(float64(base) * 1.05)
+		if got < lo || got > hi {
+			t.Fatalf("perturbed cost %v outside ±5%% of %v", got, base)
+		}
+	}
+	if !varied {
+		t.Fatal("noise never perturbed the cost")
+	}
+}
+
+func TestNetworkNilNoiseExact(t *testing.T) {
+	nw := New(2, DefaultParams(), nil)
+	want := DefaultParams().RecvCost(1024)
+	for i := 0; i < 10; i++ {
+		if nw.RecvCost(0, 1, 1024) != want {
+			t.Fatal("nil-noise network must be exact")
+		}
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, DefaultParams(), nil)
+}

@@ -1,0 +1,61 @@
+// Package paramfile serialises MHETA parameter sets — "the runtime system
+// computes the latencies ... and stores them and the overhead costs into
+// an internal MHETA file" (§4.1.1). The format is JSON so the files are
+// inspectable and diffable; cmd/mheta-predict consumes them.
+package paramfile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mheta/internal/core"
+)
+
+// Encode writes params as indented JSON.
+func Encode(w io.Writer, p *core.Params) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("paramfile: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a parameter set and validates it.
+func Decode(r io.Reader) (core.Params, error) {
+	var p core.Params
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return core.Params{}, fmt.Errorf("paramfile: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return core.Params{}, fmt.Errorf("paramfile: %w", err)
+	}
+	return p, nil
+}
+
+// Save writes params to path.
+func Save(path string, p *core.Params) error {
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("paramfile: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads params from path.
+func Load(path string) (core.Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Params{}, fmt.Errorf("paramfile: load: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,128 @@
+package paramfile
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mheta/internal/core"
+	"mheta/internal/program"
+)
+
+func sample() core.Params {
+	return core.Params{
+		Program:     "sample",
+		Nodes:       2,
+		Iterations:  3,
+		MemoryBytes: []int64{1 << 20, 2 << 20},
+		Disk: []core.DiskCal{
+			{ReadSeek: 0.008, WriteSeek: 0.009, IssueCost: 1e-4},
+			{ReadSeek: 0.024, WriteSeek: 0.027, IssueCost: 1e-4},
+		},
+		Net: core.NetParams{
+			SendFixed: 6e-5, SendPerByte: 4e-9,
+			RecvFixed: 5e-5, RecvPerByte: 4e-9,
+			WireFixed: 8e-5, WirePerByte: 8e-8,
+		},
+		BaseDist: []int{10, 10},
+		DistVars: []core.DistVar{{Name: "B", ElemBytes: 4096}},
+		Sections: []core.SectionParams{{
+			Name: "relax", Tiles: 1, Comm: program.CommNearestNeighbor, MsgBytes: 4096,
+			Stages: []core.StageParams{{
+				Name:           "update",
+				ComputePerElem: []float64{1e-4, 2e-4},
+				StreamVar:      "B",
+				ElemBytes:      4096,
+				ReadPerByte:    []float64{3e-8, 9e-8},
+				WritePerByte:   []float64{4e-8, 1.2e-7},
+			}},
+		}},
+	}
+}
+
+func TestRoundTripViaBuffer(t *testing.T) {
+	p := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, &p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != p.Program || got.Nodes != p.Nodes || got.Iterations != p.Iterations {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Sections[0].Stages[0].ReadPerByte[1] != 9e-8 {
+		t.Fatal("latency lost in round trip")
+	}
+	if got.Sections[0].Comm != program.CommNearestNeighbor {
+		t.Fatal("comm pattern lost")
+	}
+}
+
+func TestRoundTripViaFile(t *testing.T) {
+	p := sample()
+	path := filepath.Join(t.TempDir(), "params.json")
+	if err := Save(path, &p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemoryBytes[1] != 2<<20 {
+		t.Fatal("memory lost")
+	}
+	// A loaded file must feed a working model.
+	if _, err := core.NewModel(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsInvalidParams(t *testing.T) {
+	p := sample()
+	p.Nodes = 0 // invalid
+	var buf bytes.Buffer
+	if err := Encode(&buf, &p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err == nil {
+		t.Fatal("invalid params decoded")
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	r := strings.NewReader(`{"program":"x","nodes":1,"bogus_field":true}`)
+	if _, err := Decode(r); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestEncodeIsIndentedJSON(t *testing.T) {
+	p := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, &p); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "\n  ") {
+		t.Fatal("output not indented")
+	}
+	if !strings.Contains(s, `"program": "sample"`) {
+		t.Fatal("field names not as expected")
+	}
+}

@@ -1,0 +1,123 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+func validProgram() *Program {
+	return &Program{
+		Name: "p",
+		Variables: []Variable{
+			{Name: "A", ElemBytes: 64, Elems: 100, Distributed: true},
+			{Name: "x", ElemBytes: 8, Elems: 100},
+		},
+		Sections: []Section{
+			{Name: "s0", Tiles: 1, Stages: []Stage{{Name: "st", WorkPerElem: 1, Uses: []VarRef{{Name: "A", Write: true}}}}, Comm: CommNearestNeighbor, MsgBytesPerNeighbor: 64},
+			{Name: "s1", Tiles: 4, Stages: []Stage{{Name: "dp", WorkPerElem: 2}}, Comm: CommPipeline, MsgBytesPerNeighbor: 16},
+			{Name: "s2", Tiles: 1, Stages: []Stage{{Name: "red"}}, Comm: CommReduction, ReduceBytes: 8},
+		},
+		Iterations:   10,
+		WorkUnitCost: 1e-6,
+	}
+}
+
+func TestValidProgramValidates(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarLookup(t *testing.T) {
+	p := validProgram()
+	v, err := p.Var("A")
+	if err != nil || v.Name != "A" {
+		t.Fatalf("Var(A) = %v, %v", v, err)
+	}
+	if _, err := p.Var("nope"); err == nil {
+		t.Fatal("unknown var did not error")
+	}
+	if got := p.MustVar("x"); got.ElemBytes != 8 {
+		t.Fatal("MustVar wrong")
+	}
+}
+
+func TestMustVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	validProgram().MustVar("nope")
+}
+
+func TestDistributedVars(t *testing.T) {
+	dv := validProgram().DistributedVars()
+	if len(dv) != 1 || dv[0].Name != "A" {
+		t.Fatalf("DistributedVars = %v", dv)
+	}
+}
+
+func TestGlobalElems(t *testing.T) {
+	if validProgram().GlobalElems() != 100 {
+		t.Fatal("GlobalElems wrong")
+	}
+	empty := &Program{Name: "e"}
+	if empty.GlobalElems() != 0 {
+		t.Fatal("no distributed vars should give 0")
+	}
+}
+
+func TestVariableTotalBytes(t *testing.T) {
+	v := Variable{ElemBytes: 64, Elems: 100}
+	if v.TotalBytes() != 6400 {
+		t.Fatal("TotalBytes wrong")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		errSub string
+	}{
+		{"zero iterations", func(p *Program) { p.Iterations = 0 }, "Iterations"},
+		{"zero unit cost", func(p *Program) { p.WorkUnitCost = 0 }, "WorkUnitCost"},
+		{"bad variable shape", func(p *Program) { p.Variables[0].Elems = 0 }, "shape"},
+		{"elem count mismatch", func(p *Program) {
+			p.Variables = append(p.Variables, Variable{Name: "B", ElemBytes: 8, Elems: 50, Distributed: true})
+		}, "disagree"},
+		{"zero tiles", func(p *Program) { p.Sections[0].Tiles = 0 }, "Tiles"},
+		{"pipeline single tile", func(p *Program) { p.Sections[1].Tiles = 1 }, "tile"},
+		{"non-pipeline multi tile", func(p *Program) { p.Sections[0].Tiles = 2 }, "1 tile"},
+		{"negative work", func(p *Program) { p.Sections[0].Stages[0].WorkPerElem = -1 }, "negative work"},
+		{"unknown stage var", func(p *Program) { p.Sections[0].Stages[0].Uses[0].Name = "zzz" }, "unknown variable"},
+	}
+	for _, c := range cases {
+		p := validProgram()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.errSub)
+		}
+	}
+}
+
+func TestCommPatternString(t *testing.T) {
+	cases := map[CommPattern]string{
+		CommNone:            "none",
+		CommNearestNeighbor: "nearest-neighbor",
+		CommPipeline:        "pipeline",
+		CommReduction:       "reduction",
+		CommPattern(99):     "CommPattern(99)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package search
+
+import (
+	"mheta/internal/core"
+	"mheta/internal/dist"
+)
+
+// ModelEvaluator adapts a MHETA model to the Evaluator interface,
+// minimising total predicted execution time. It is the production
+// configuration: "A separate component of the runtime system uses MHETA
+// to evaluate all candidate distributions as part of a search algorithm"
+// (§1).
+type ModelEvaluator struct {
+	Model *core.Model
+}
+
+// Evaluate implements Evaluator.
+func (m ModelEvaluator) Evaluate(d dist.Distribution) float64 {
+	return m.Model.Predict(d).Total
+}

@@ -1,0 +1,87 @@
+package search
+
+import (
+	"mheta/internal/cluster"
+	"mheta/internal/dist"
+)
+
+// GBS is the generalized binary search of the companion paper [26]: it
+// walks the Figure 8 spectrum legs (Blk→I-C→I-C/Bal→Bal) and binary
+// searches each leg for its minimum, exploiting that the predicted time is
+// close to unimodal along a leg ("An algorithm searching for a data
+// distribution between I-C and I-C/Bal can use MHETA to determine which
+// point results in the lowest execution time", §5.1). The search
+// discretises each leg to Resolution interior points and narrows by
+// golden-ratio-style thirds, so it spends O(legs·log Resolution) model
+// evaluations.
+type GBS struct {
+	Spec cluster.Spec
+	// BytesPerElem is the combined per-element footprint of the
+	// distributed variables (the I-C anchors need it).
+	BytesPerElem int64
+	// Resolution is the discretisation of each leg (default 64).
+	Resolution int
+}
+
+// Name implements Searcher.
+func (g *GBS) Name() string { return "gbs" }
+
+// Search implements Searcher.
+func (g *GBS) Search(ev Evaluator, total int) Result {
+	res := g.Resolution
+	if res <= 0 {
+		res = 64
+	}
+	cev := &countingEvaluator{inner: ev}
+	anchors := dist.Anchors(total, g.Spec, g.BytesPerElem)
+
+	best := anchors[0].Dist.Clone()
+	bestT := cev.Evaluate(best)
+	consider := func(d dist.Distribution) {
+		t := cev.Evaluate(d)
+		if t < bestT {
+			bestT, best = t, d.Clone()
+		}
+	}
+
+	memo := make(map[string]float64)
+	for leg := 0; leg+1 < len(anchors); leg++ {
+		a, b := anchors[leg].Dist, anchors[leg+1].Dist
+		if a.Equal(b) {
+			continue
+		}
+		consider(b)
+		// Ternary search over the discretised leg.
+		lo, hi := 0, res
+		point := func(k int) dist.Distribution {
+			return dist.Lerp(a, b, float64(k)/float64(res))
+		}
+		eval := func(k int) float64 {
+			d := point(k)
+			key := d.String()
+			if t, ok := memo[key]; ok {
+				return t
+			}
+			t := cev.Evaluate(d)
+			memo[key] = t
+			return t
+		}
+		for hi-lo > 2 {
+			m1 := lo + (hi-lo)/3
+			m2 := hi - (hi-lo)/3
+			if eval(m1) <= eval(m2) {
+				hi = m2
+			} else {
+				lo = m1
+			}
+		}
+		for k := lo; k <= hi; k++ {
+			d := point(k)
+			t := eval(k)
+			if t < bestT {
+				bestT, best = t, d.Clone()
+			}
+		}
+	}
+	return Result{Best: best, Time: bestT, Evaluations: cev.n, Algorithm: g.Name()}
+}

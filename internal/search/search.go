@@ -1,0 +1,114 @@
+// Package search implements the data-distribution selection algorithms
+// that use MHETA as their evaluation function. The paper's companion
+// report [26] evaluates four: generalized binary search (GBS), genetic,
+// simulated annealing, and random (§5.3: "MHETA is used as part of four
+// different algorithms ... to determine an effective distribution").
+//
+// [26] is not publicly archived, so the algorithms here are faithful
+// reconstructions from the papers' descriptions: every algorithm explores
+// the space of GEN_BLOCK distributions (non-negative blocks summing to
+// the element count) and minimises the model-predicted execution time.
+// GBS exploits the same structure as Figure 8 — the practically good
+// distributions lie along the Blk↔I-C↔I-C/Bal↔Bal spectrum, and predicted
+// time is close to unimodal along each leg — hence binary search over the
+// legs; the stochastic algorithms roam the full space.
+package search
+
+import (
+	"fmt"
+
+	"mheta/internal/dist"
+	"mheta/internal/vclock"
+)
+
+// Evaluator scores a candidate distribution; lower is better. core.Model
+// satisfies this via ModelEvaluator.
+type Evaluator interface {
+	Evaluate(d dist.Distribution) float64
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(d dist.Distribution) float64
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(d dist.Distribution) float64 { return f(d) }
+
+// countingEvaluator wraps an Evaluator and counts calls — every algorithm
+// reports how many model evaluations it spent, since evaluation cost
+// (≈5.4 ms in the paper) bounds how elaborate a runtime search can be.
+type countingEvaluator struct {
+	inner Evaluator
+	n     int
+}
+
+func (c *countingEvaluator) Evaluate(d dist.Distribution) float64 {
+	c.n++
+	return c.inner.Evaluate(d)
+}
+
+// Result is a search outcome.
+type Result struct {
+	Best        dist.Distribution
+	Time        float64 // predicted execution time of Best
+	Evaluations int     // model evaluations spent
+	Algorithm   string
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.4fs in %d evals, dist=%v", r.Algorithm, r.Time, r.Evaluations, r.Best)
+}
+
+// Searcher is one distribution-selection algorithm.
+type Searcher interface {
+	// Search returns the best distribution found for total elements.
+	Search(ev Evaluator, total int) Result
+	// Name identifies the algorithm in reports.
+	Name() string
+}
+
+// repair adjusts d (non-negative per-node blocks) to sum to total,
+// spreading the correction across nodes proportionally to current sizes.
+// It is used by the stochastic operators, whose raw offspring may be off
+// by a few elements.
+func repair(d dist.Distribution, total int) dist.Distribution {
+	for i, b := range d {
+		if b < 0 {
+			d[i] = 0
+		}
+	}
+	sum := d.Total()
+	switch {
+	case sum == total:
+		return d
+	case sum == 0:
+		copy(d, dist.Block(total, len(d)))
+		return d
+	}
+	weights := make([]float64, len(d))
+	for i, b := range d {
+		weights[i] = float64(b)
+	}
+	copy(d, dist.Proportional(total, weights))
+	return d
+}
+
+// randomDist draws a random GEN_BLOCK distribution: weights from a noise
+// stream, largest-remainder rounding. With probability zeroP each node is
+// excluded (weight 0), letting the search consider leaving weak nodes
+// idle.
+func randomDist(nz *vclock.Noise, n, total int, zeroP float64) dist.Distribution {
+	weights := make([]float64, n)
+	positive := false
+	for i := range weights {
+		if nz.Float64() < zeroP {
+			continue
+		}
+		weights[i] = 0.05 + nz.Float64()
+		positive = true
+	}
+	if !positive {
+		weights[nz.Intn(n)] = 1
+	}
+	return dist.Proportional(total, weights)
+}

@@ -1,0 +1,191 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"mheta/internal/dist"
+	"mheta/internal/vclock"
+)
+
+// Random samples Budget random GEN_BLOCK distributions (plus the Blk
+// baseline) and keeps the best — the companion paper's control algorithm.
+type Random struct {
+	N      int // node count to distribute over
+	Budget int
+	Seed   uint64
+}
+
+// Name implements Searcher.
+func (r *Random) Name() string { return "random" }
+
+// Search implements Searcher.
+func (r *Random) Search(ev Evaluator, total int) Result {
+	budget := r.Budget
+	if budget <= 0 {
+		budget = 256
+	}
+	cev := &countingEvaluator{inner: ev}
+	nz := vclock.NewNoise(r.Seed^0xAAD0, 0)
+	n := r.N
+	best := dist.Block(total, n)
+	bestT := cev.Evaluate(best)
+	for i := 1; i < budget; i++ {
+		d := randomDist(nz, n, total, 0.1)
+		t := cev.Evaluate(d)
+		if t < bestT {
+			bestT, best = t, d
+		}
+	}
+	return Result{Best: best, Time: bestT, Evaluations: cev.n, Algorithm: r.Name()}
+}
+
+// Genetic is a generational GA over GEN_BLOCK distributions: tournament
+// selection, per-node arithmetic crossover with largest-remainder repair,
+// and element-migration mutation.
+type Genetic struct {
+	N           int
+	Population  int
+	Generations int
+	MutateP     float64
+	Seed        uint64
+}
+
+// Name implements Searcher.
+func (g *Genetic) Name() string { return "genetic" }
+
+type scored struct {
+	d dist.Distribution
+	t float64
+}
+
+// Search implements Searcher.
+func (g *Genetic) Search(ev Evaluator, total int) Result {
+	pop := g.Population
+	if pop <= 0 {
+		pop = 32
+	}
+	gens := g.Generations
+	if gens <= 0 {
+		gens = 24
+	}
+	mp := g.MutateP
+	if mp <= 0 {
+		mp = 0.3
+	}
+	cev := &countingEvaluator{inner: ev}
+	nz := vclock.NewNoise(g.Seed^0x6E7E, 0)
+
+	cur := make([]scored, 0, pop)
+	cur = append(cur, scored{dist.Block(total, g.N), 0})
+	for len(cur) < pop {
+		cur = append(cur, scored{randomDist(nz, g.N, total, 0.1), 0})
+	}
+	for i := range cur {
+		cur[i].t = cev.Evaluate(cur[i].d)
+	}
+	sort.Slice(cur, func(i, j int) bool { return cur[i].t < cur[j].t })
+
+	tournament := func() dist.Distribution {
+		a, b := nz.Intn(len(cur)), nz.Intn(len(cur))
+		if cur[a].t <= cur[b].t {
+			return cur[a].d
+		}
+		return cur[b].d
+	}
+	for gen := 0; gen < gens; gen++ {
+		next := make([]scored, 0, pop)
+		// Elitism: carry the two best forward unchanged.
+		next = append(next, cur[0], cur[1])
+		for len(next) < pop {
+			a, b := tournament(), tournament()
+			child := make(dist.Distribution, g.N)
+			mix := nz.Float64()
+			for i := range child {
+				child[i] = int(mix*float64(a[i]) + (1-mix)*float64(b[i]))
+			}
+			child = repair(child, total)
+			if nz.Float64() < mp {
+				mutate(nz, child, total)
+			}
+			next = append(next, scored{child, cev.Evaluate(child)})
+		}
+		cur = next
+		sort.Slice(cur, func(i, j int) bool { return cur[i].t < cur[j].t })
+	}
+	return Result{Best: cur[0].d.Clone(), Time: cur[0].t, Evaluations: cev.n, Algorithm: g.Name()}
+}
+
+// mutate moves a random fraction of one node's block to another node.
+func mutate(nz *vclock.Noise, d dist.Distribution, total int) {
+	n := len(d)
+	from := nz.Intn(n)
+	if d[from] == 0 {
+		// Find any donor.
+		for i := range d {
+			if d[i] > 0 {
+				from = i
+				break
+			}
+		}
+	}
+	to := nz.Intn(n)
+	if to == from {
+		to = (to + 1) % n
+	}
+	if d[from] == 0 {
+		return
+	}
+	amt := 1 + nz.Intn(d[from])
+	d[from] -= amt
+	d[to] += amt
+}
+
+// Annealing is simulated annealing with an element-migration neighbour
+// move and geometric cooling.
+type Annealing struct {
+	N       int
+	Steps   int
+	T0      float64 // initial temperature as a fraction of the start cost
+	Cooling float64 // geometric factor per step
+	Seed    uint64
+}
+
+// Name implements Searcher.
+func (a *Annealing) Name() string { return "annealing" }
+
+// Search implements Searcher.
+func (a *Annealing) Search(ev Evaluator, total int) Result {
+	steps := a.Steps
+	if steps <= 0 {
+		steps = 600
+	}
+	t0 := a.T0
+	if t0 <= 0 {
+		t0 = 0.2
+	}
+	cool := a.Cooling
+	if cool <= 0 || cool >= 1 {
+		cool = 0.992
+	}
+	cev := &countingEvaluator{inner: ev}
+	nz := vclock.NewNoise(a.Seed^0x5AEA, 0)
+
+	cur := dist.Block(total, a.N)
+	curT := cev.Evaluate(cur)
+	best, bestT := cur.Clone(), curT
+	temp := t0 * curT
+	for s := 0; s < steps; s++ {
+		cand := cur.Clone()
+		mutate(nz, cand, total)
+		candT := cev.Evaluate(cand)
+		if candT < curT || nz.Float64() < math.Exp((curT-candT)/temp) {
+			cur, curT = cand, candT
+			if curT < bestT {
+				best, bestT = cur.Clone(), curT
+			}
+		}
+		temp *= cool
+	}
+	return Result{Best: best, Time: bestT, Evaluations: cev.n, Algorithm: a.Name()}
+}

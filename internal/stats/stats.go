@@ -1,0 +1,146 @@
+// Package stats provides the small set of summary statistics the paper's
+// evaluation uses: minima, maxima, means, and the paper's definition of
+// percent difference between predicted and actual execution times.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// PercentDiff returns the paper's accuracy metric (§5.2.1): the absolute
+// difference between predicted and actual divided by the smaller of the
+// two, expressed as a fraction (0.02 == 2%). It is symmetric in its
+// arguments. Both inputs must be positive; non-positive inputs yield NaN
+// so that harness bugs surface instead of silently averaging to zero.
+func PercentDiff(predicted, actual float64) float64 {
+	if predicted <= 0 || actual <= 0 {
+		return math.NaN()
+	}
+	lo := predicted
+	if actual < lo {
+		lo = actual
+	}
+	return math.Abs(predicted-actual) / lo
+}
+
+// Accuracy converts a percent difference into the paper's "X% accurate"
+// phrasing: accuracy = 1 − diff, floored at zero.
+func Accuracy(diff float64) float64 {
+	a := 1 - diff
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Summary holds the min/avg/max triple that Figure 9 plots per
+// distribution point.
+type Summary struct {
+	Min, Avg, Max float64
+	N             int
+}
+
+// Summarize computes a Summary over xs, ignoring NaNs. An empty (or
+// all-NaN) input yields a zero Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	sum := 0.0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+		s.N++
+	}
+	if s.N == 0 {
+		return Summary{}
+	}
+	s.Avg = sum / float64(s.N)
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, or 0 for an empty slice. The input is
+// not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Ratio returns max(xs)/min(xs) — the paper's "worst distribution is N×
+// slower than the best" headline. It returns NaN if min(xs) <= 0 or xs is
+// empty.
+func Ratio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo <= 0 {
+		return math.NaN()
+	}
+	return hi / lo
+}

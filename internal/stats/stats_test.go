@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentDiffSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+1e-9, math.Abs(b)+1e-9
+		return PercentDiff(a, b) == PercentDiff(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentDiffKnownValues(t *testing.T) {
+	cases := []struct{ p, a, want float64 }{
+		{100, 100, 0},
+		{110, 100, 0.10},
+		{100, 110, 0.10},
+		{200, 100, 1.0},
+		{100, 50, 1.0},
+	}
+	for _, c := range cases {
+		got := PercentDiff(c.p, c.a)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PercentDiff(%v,%v) = %v, want %v", c.p, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPercentDiffNonPositiveNaN(t *testing.T) {
+	if !math.IsNaN(PercentDiff(0, 1)) || !math.IsNaN(PercentDiff(1, -2)) {
+		t.Fatal("non-positive input must yield NaN")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy(0.02) != 0.98 {
+		t.Fatalf("Accuracy(0.02) = %v", Accuracy(0.02))
+	}
+	if Accuracy(2.0) != 0 {
+		t.Fatal("accuracy must floor at 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Avg != 2 || s.N != 3 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 2 || s.Min != 1 || s.Max != 3 || s.Avg != 2 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Min != 0 || s.Max != 0 || s.Avg != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{4, 2, 6}
+	if Mean(xs) != 4 || Min(xs) != 2 || Max(xs) != 6 {
+		t.Fatal("mean/min/max wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max sentinels wrong")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median wrong")
+	}
+	// Median must not modify its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{2, 2, 2}) != 0 {
+		t.Fatal("constant stddev != 0")
+	}
+	got := Stddev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Stddev([1,3]) = %v, want 1", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio([]float64{2, 8, 4}) != 4 {
+		t.Fatal("ratio wrong")
+	}
+	if !math.IsNaN(Ratio(nil)) || !math.IsNaN(Ratio([]float64{0, 1})) {
+		t.Fatal("degenerate ratios must be NaN")
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Keep magnitudes bounded so the sum cannot overflow.
+				clean = append(clean, math.Mod(x, 1e12))
+			}
+		}
+		s := Summarize(clean)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Avg && s.Avg <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

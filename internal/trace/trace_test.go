@@ -1,0 +1,136 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"mheta/internal/apps"
+	"mheta/internal/cluster"
+	"mheta/internal/dist"
+	"mheta/internal/exec"
+	"mheta/internal/mpi"
+	"mheta/internal/trace"
+	"mheta/internal/vclock"
+)
+
+func TestSpanBasics(t *testing.T) {
+	tr := trace.New()
+	tr.Add(trace.Span{Rank: 1, Kind: trace.SpanSection, Label: "S0", Start: 0, End: 2})
+	tr.Add(trace.Span{Rank: 0, Kind: trace.SpanBlocked, Start: 1, End: 1.5})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	// Sorted by rank then time.
+	if spans[0].Rank != 0 || spans[1].Rank != 1 {
+		t.Fatal("sort order wrong")
+	}
+	if spans[1].Duration() != 2 {
+		t.Fatalf("duration %v", spans[1].Duration())
+	}
+}
+
+func TestByRankAndFilter(t *testing.T) {
+	tr := trace.New()
+	tr.Add(trace.Span{Rank: 0, Kind: trace.SpanIO, Label: "B", Start: 0, End: 1})
+	tr.Add(trace.Span{Rank: 0, Kind: trace.SpanBlocked, Start: 1, End: 3})
+	tr.Add(trace.Span{Rank: 1, Kind: trace.SpanIO, Label: "B", Start: 0, End: 1})
+	if len(tr.ByRank(0)) != 2 || len(tr.ByRank(1)) != 1 {
+		t.Fatal("ByRank wrong")
+	}
+	if len(tr.Filter(trace.SpanIO)) != 2 {
+		t.Fatal("Filter wrong")
+	}
+	if tr.BlockedTime(0) != 2 || tr.BlockedTime(1) != 0 {
+		t.Fatal("BlockedTime wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if trace.SpanSection.String() != "section" || trace.SpanBlocked.String() != "blocked" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	tr := trace.New()
+	tr.Add(trace.Span{Rank: 0, Kind: trace.SpanSection, Label: "S0", Start: 0, End: 1})
+	tr.Add(trace.Span{Rank: 1, Kind: trace.SpanSection, Label: "S1", Start: 0.5, End: 1})
+	tr.Add(trace.Span{Rank: 1, Kind: trace.SpanBlocked, Start: 0, End: 0.5})
+	out := tr.Gantt(2, 20)
+	if !strings.Contains(out, "rank  0") || !strings.Contains(out, "rank  1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("missing section letters:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatalf("missing blocked marks:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if !strings.Contains(trace.New().Gantt(2, 10), "empty") {
+		t.Fatal("empty trace must say so")
+	}
+}
+
+func TestExecProducesTrace(t *testing.T) {
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 512, 64, 2
+	app := apps.NewJacobi(cfg)
+	spec := cluster.IO(8) // slow disks → real I/O and blocked spans
+	tr := trace.New()
+	w := mpi.NewWorld(spec, 1, 0.02)
+	if _, err := exec.Run(w, app, dist.Block(cfg.Rows, 8), exec.Options{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	// Sections: 2 per iteration × 2 iterations × 8 ranks.
+	if got := len(tr.Filter(trace.SpanSection)); got != 2*2*8 {
+		t.Fatalf("%d section spans, want 32", got)
+	}
+	// The small-memory nodes must show I/O spans.
+	if len(tr.Filter(trace.SpanIO)) == 0 {
+		t.Fatal("no I/O spans recorded")
+	}
+	// Someone must have blocked on the reduction or exchange.
+	totalBlocked := vclock.Duration(0)
+	for p := 0; p < 8; p++ {
+		totalBlocked += tr.BlockedTime(p)
+	}
+	if totalBlocked <= 0 {
+		t.Fatal("no blocked time recorded")
+	}
+	// The Gantt must render all 8 ranks.
+	out := tr.Gantt(8, 60)
+	if strings.Count(out, "rank") != 8 {
+		t.Fatalf("gantt:\n%s", out)
+	}
+}
+
+func TestTraceSectionSpansNested(t *testing.T) {
+	// Per rank, section spans must be non-overlapping and ordered.
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 256, 32, 2
+	app := apps.NewJacobi(cfg)
+	tr := trace.New()
+	w := mpi.NewWorld(cluster.DC(8), 1, 0)
+	if _, err := exec.Run(w, app, dist.Block(cfg.Rows, 8), exec.Options{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		var last vclock.Time
+		for _, s := range tr.ByRank(p) {
+			if s.Kind != trace.SpanSection {
+				continue
+			}
+			if s.Start < last {
+				t.Fatalf("rank %d: section spans overlap", p)
+			}
+			if s.End < s.Start {
+				t.Fatalf("rank %d: negative span", p)
+			}
+			last = s.End
+		}
+	}
+}

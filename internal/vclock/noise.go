@@ -1,0 +1,80 @@
+package vclock
+
+// Noise is a deterministic stream of small multiplicative perturbations.
+//
+// The paper's "actual" execution times differ from MHETA's predictions by
+// a few percent because of cache effects, OS jitter and instrumentation
+// perturbation (§5.2.1, §5.4). The emulator reproduces that error band by
+// perturbing every modelled cost with a seeded stream: actual = modelled ×
+// (1 + ε), ε drawn uniformly from [-amp, +amp]. The instrumented iteration
+// sees a *different* draw than the predicted iterations, which is exactly
+// the paper's "perturbations introduced when running the instrumented
+// iteration" (up to ~1% error even for the block distribution).
+//
+// The generator is splitmix64: tiny state, excellent distribution, and no
+// dependency on math/rand global state, so experiment results are
+// reproducible across runs and machines.
+type Noise struct {
+	state uint64
+	amp   float64
+}
+
+// NewNoise returns a noise stream with the given seed and amplitude.
+// Amplitude 0.02 means each cost is perturbed by at most ±2%.
+// A nil-equivalent stream (amplitude 0) is valid and returns exactly 1.
+func NewNoise(seed uint64, amplitude float64) *Noise {
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	return &Noise{state: seed, amp: amplitude}
+}
+
+// next64 advances the splitmix64 state.
+func (n *Noise) next64() uint64 {
+	n.state += 0x9e3779b97f4a7c15
+	z := n.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next uniform draw in [0, 1).
+func (n *Noise) Float64() float64 {
+	return float64(n.next64()>>11) / (1 << 53)
+}
+
+// Factor returns the next multiplicative perturbation in [1-amp, 1+amp].
+func (n *Noise) Factor() float64 {
+	if n.amp == 0 {
+		return 1
+	}
+	return 1 + n.amp*(2*n.Float64()-1)
+}
+
+// Perturb applies the next perturbation factor to a duration.
+func (n *Noise) Perturb(d Duration) Duration {
+	return Duration(float64(d) * n.Factor())
+}
+
+// Intn returns a uniform draw in [0, k). k must be positive.
+func (n *Noise) Intn(k int) int {
+	if k <= 0 {
+		panic("vclock: Intn with non-positive bound")
+	}
+	return int(n.next64() % uint64(k))
+}
+
+// Amplitude reports the configured amplitude.
+func (n *Noise) Amplitude() float64 { return n.amp }
+
+// Fork derives an independent stream from this one, tagged by id.
+// Ranks fork per-subsystem streams (compute, disk, network) so that
+// adding a draw in one subsystem does not shift every other stream.
+func (n *Noise) Fork(id uint64) *Noise {
+	// Mix the tag through one splitmix64 round so ids 0,1,2... do not
+	// produce correlated streams.
+	z := n.state + (id+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Noise{state: z ^ (z >> 31), amp: n.amp}
+}

@@ -1,0 +1,247 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(1.5)
+	c.Advance(2.5)
+	if got := c.Now(); got != 4 {
+		t.Fatalf("Now() = %v, want 4", got)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	c := NewClock()
+	c.Advance(3)
+	c.Advance(-10)
+	if got := c.Now(); got != 3 {
+		t.Fatalf("Now() = %v after negative advance, want 3", got)
+	}
+}
+
+func TestClockAdvanceToNeverRewinds(t *testing.T) {
+	c := NewClock()
+	c.Advance(5)
+	c.AdvanceTo(2)
+	if got := c.Now(); got != 5 {
+		t.Fatalf("Now() = %v, want 5 (no rewind)", got)
+	}
+	c.AdvanceTo(9)
+	if got := c.Now(); got != 9 {
+		t.Fatalf("Now() = %v, want 9", got)
+	}
+}
+
+func TestClockWaitUntil(t *testing.T) {
+	c := NewClock()
+	c.Advance(2)
+	if w := c.WaitUntil(5); w != 3 {
+		t.Fatalf("WaitUntil(5) = %v, want 3", w)
+	}
+	if w := c.WaitUntil(1); w != 0 {
+		t.Fatalf("WaitUntil(past) = %v, want 0", w)
+	}
+	if c.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", c.Now())
+	}
+}
+
+func TestClockSince(t *testing.T) {
+	c := NewClock()
+	c.Advance(7)
+	if d := c.Since(3); d != 4 {
+		t.Fatalf("Since(3) = %v, want 4", d)
+	}
+	if d := c.Since(10); d != 0 {
+		t.Fatalf("Since(future) = %v, want 0", d)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(7)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v after reset, want 0", c.Now())
+	}
+}
+
+func TestMaxHelpers(t *testing.T) {
+	if MaxTime(1, 2) != 2 || MaxTime(3, 2) != 3 {
+		t.Fatal("MaxTime wrong")
+	}
+	if MaxDuration(1, 2) != 2 || MaxDuration(3, 2) != 3 {
+		t.Fatal("MaxDuration wrong")
+	}
+	if ClampDuration(-1) != 0 || ClampDuration(2) != 2 {
+		t.Fatal("ClampDuration wrong")
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := Duration(1.5)
+	if d.Seconds() != 1.5 {
+		t.Fatalf("Seconds() = %v", d.Seconds())
+	}
+	if d.Milliseconds() != 1500 {
+		t.Fatalf("Milliseconds() = %v", d.Milliseconds())
+	}
+	if Time(2.5).Seconds() != 2.5 {
+		t.Fatal("Time.Seconds wrong")
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(steps []float64) bool {
+		c := NewClock()
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(Duration(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	a := NewNoise(42, 0.02)
+	b := NewNoise(42, 0.02)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestNoiseSeedsDiffer(t *testing.T) {
+	a := NewNoise(1, 0.02)
+	b := NewNoise(2, 0.02)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/64 draws", same)
+	}
+}
+
+func TestNoiseFactorRange(t *testing.T) {
+	n := NewNoise(7, 0.05)
+	for i := 0; i < 10000; i++ {
+		f := n.Factor()
+		if f < 0.95 || f > 1.05 {
+			t.Fatalf("factor %v outside [0.95, 1.05]", f)
+		}
+	}
+}
+
+func TestNoiseZeroAmplitude(t *testing.T) {
+	n := NewNoise(7, 0)
+	for i := 0; i < 100; i++ {
+		if n.Factor() != 1 {
+			t.Fatal("zero-amplitude factor != 1")
+		}
+	}
+	if n.Perturb(3) != 3 {
+		t.Fatal("zero-amplitude perturb changed value")
+	}
+}
+
+func TestNoiseNegativeAmplitudeClamped(t *testing.T) {
+	n := NewNoise(7, -0.5)
+	if n.Amplitude() != 0 {
+		t.Fatalf("amplitude = %v, want 0", n.Amplitude())
+	}
+}
+
+func TestNoiseFloat64Range(t *testing.T) {
+	n := NewNoise(99, 0.02)
+	for i := 0; i < 10000; i++ {
+		v := n.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestNoiseIntn(t *testing.T) {
+	n := NewNoise(5, 0)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := n.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d values", len(seen))
+	}
+}
+
+func TestNoiseIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewNoise(1, 0).Intn(0)
+}
+
+func TestNoiseForkIndependence(t *testing.T) {
+	root := NewNoise(42, 0.02)
+	a := root.Fork(1)
+	b := root.Fork(2)
+	// Forks must not be correlated with each other.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams matched %d/64 draws", same)
+	}
+}
+
+func TestNoiseForkDeterministic(t *testing.T) {
+	a := NewNoise(42, 0.02).Fork(3)
+	b := NewNoise(42, 0.02).Fork(3)
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same fork id produced different streams")
+		}
+	}
+}
+
+func TestNoisePerturbMeanCentred(t *testing.T) {
+	n := NewNoise(123, 0.02)
+	sum := 0.0
+	const k = 100000
+	for i := 0; i < k; i++ {
+		sum += float64(n.Perturb(1))
+	}
+	mean := sum / k
+	if mean < 0.999 || mean > 1.001 {
+		t.Fatalf("perturbation mean %v not ≈1", mean)
+	}
+}

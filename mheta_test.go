@@ -1,0 +1,115 @@
+package mheta_test
+
+import (
+	"testing"
+
+	"mheta"
+)
+
+func TestNamedClusterAPI(t *testing.T) {
+	for _, name := range []string{"DC", "IO", "HY1", "HY2"} {
+		spec, err := mheta.NamedCluster(name)
+		if err != nil {
+			t.Fatalf("NamedCluster(%s): %v", name, err)
+		}
+		if spec.N() != 8 {
+			t.Fatalf("%s: %d nodes", name, spec.N())
+		}
+	}
+	if _, err := mheta.NamedCluster("nope"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestMustNamedClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	mheta.MustNamedCluster("nope")
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	spec := mheta.MustNamedCluster("HY1")
+	cfg := mheta.JacobiDefaults()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 768, 96, 3
+	app := mheta.Jacobi(cfg)
+
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := mheta.BlockDistribution(app, spec)
+	if blk.Total() != cfg.Rows {
+		t.Fatalf("Blk total %d", blk.Total())
+	}
+	pred := model.Predict(blk)
+	if pred.Total <= 0 {
+		t.Fatal("non-positive prediction")
+	}
+	actual, err := mheta.RunActual(spec, app, blk, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := pred.Total / actual
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("prediction %v vs actual %v", pred.Total, actual)
+	}
+}
+
+func TestFacadeAppBuilders(t *testing.T) {
+	builders := []*mheta.App{
+		mheta.Jacobi(mheta.JacobiDefaults()),
+		mheta.CG(mheta.CGDefaults()),
+		mheta.Lanczos(mheta.LanczosDefaults()),
+		mheta.RNA(mheta.RNADefaults()),
+		mheta.Multigrid(mheta.MGDefaults()),
+	}
+	for _, app := range builders {
+		if err := app.Prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", app.Prog.Name, err)
+		}
+	}
+}
+
+func TestSearchWithAllAlgorithms(t *testing.T) {
+	spec := mheta.MustNamedCluster("HY1")
+	cfg := mheta.JacobiDefaults()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 768, 96, 3
+	app := mheta.Jacobi(cfg)
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blkPred := model.Predict(mheta.BlockDistribution(app, spec)).Total
+	for _, alg := range []string{mheta.AlgGBS, mheta.AlgGenetic, mheta.AlgAnnealing, mheta.AlgRandom} {
+		res, err := mheta.SearchWith(alg, spec, app, model, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Time > blkPred*1.001 {
+			t.Errorf("%s found a worse-than-Blk distribution", alg)
+		}
+		if err := res.Best.Validate(cfg.Rows); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+	if _, err := mheta.SearchWith("bogus", spec, app, model, 42); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestInstrumentParamsRoundTrip(t *testing.T) {
+	spec := mheta.MustNamedCluster("IO")
+	cfg := mheta.JacobiDefaults()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 768, 96, 3
+	app := mheta.Jacobi(cfg)
+	params, err := mheta.InstrumentParams(spec, app, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.Program != "jacobi" || params.Nodes != 8 {
+		t.Fatalf("params header %+v", params)
+	}
+}
