@@ -11,7 +11,11 @@
 package mheta_test
 
 import (
+	"fmt"
+	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"mheta"
 	"mheta/internal/apps"
@@ -239,6 +243,107 @@ func benchSearch(b *testing.B, alg string) {
 	b.ReportMetric(float64(res.Evaluations), "evals")
 	blk := model.Predict(mheta.BlockDistribution(app, spec)).Total
 	b.ReportMetric(blk/res.Time, "speedup-vs-blk")
+}
+
+// BenchmarkSearchParallel measures the concurrent evaluation pool: GBS
+// and Genetic at 1, 4 and NumCPU workers, reporting allocs/op and the
+// wall-clock speedup over a freshly measured serial baseline. Results are
+// bit-identical across worker counts (see internal/search pool tests);
+// only the speed changes.
+func BenchmarkSearchParallel(b *testing.B) {
+	spec := cluster.HY1(8)
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 1024, 128, 5
+	app := apps.NewJacobi(cfg)
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, alg := range []string{mheta.AlgGBS, mheta.AlgGenetic} {
+		serial := serialSearchNs(b, alg, spec, app, model)
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("%s/workers=%d", alg, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var res mheta.SearchResult
+				for i := 0; i < b.N; i++ {
+					res, err = mheta.SearchWithWorkers(alg, spec, app, model, 42, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				b.ReportMetric(serial/perOp, "speedup-vs-serial")
+				b.ReportMetric(float64(res.Evaluations), "evals")
+			})
+		}
+	}
+}
+
+// serialSearchNs times the single-worker search (best of three after a
+// warm-up) as the speedup baseline.
+func serialSearchNs(b *testing.B, alg string, spec mheta.ClusterSpec, app *mheta.App, model *mheta.Model) float64 {
+	b.Helper()
+	best := math.MaxFloat64
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		if _, err := mheta.SearchWithWorkers(alg, spec, app, model, 42, 1); err != nil {
+			b.Fatal(err)
+		}
+		if el := float64(time.Since(start).Nanoseconds()); i > 0 && el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// BenchmarkMemoisedEvaluate measures the memo's warm path — re-scoring a
+// batch of already-seen distributions. The acceptance bar is zero
+// allocs/op: a fully memoised batch touches only the hash table.
+func BenchmarkMemoisedEvaluate(b *testing.B) {
+	spec := cluster.HY1(8)
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 1024, 128, 5
+	app := apps.NewJacobi(cfg)
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := dist.SpectrumFull(cfg.Rows, spec, app.Prog.MustVar("B").ElemBytes, 8)
+	ds := make([]dist.Distribution, len(pts))
+	for i, pt := range pts {
+		ds[i] = pt.Dist
+	}
+	memo := search.NewMemo(search.ModelEvaluator{Model: model})
+	out := make([]float64, len(ds))
+	memo.EvaluateBatchInto(out, ds) // warm
+
+	// Baseline: the seed's memo scheme — a map keyed by d.String(), which
+	// allocates the key on every lookup, hit or miss.
+	stringMemo := make(map[string]float64, len(ds))
+	for i, d := range ds {
+		stringMemo[d.String()] = out[i]
+	}
+	start := time.Now()
+	const rounds = 64
+	for r := 0; r < rounds; r++ {
+		for i, d := range ds {
+			out[i] = stringMemo[d.String()]
+		}
+	}
+	baseline := float64(time.Since(start).Nanoseconds()) / rounds
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo.EvaluateBatchInto(out, ds)
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(baseline/perOp, "speedup-vs-string-memo")
+	b.ReportMetric(float64(len(ds)), "dists/batch")
 }
 
 // --- Ablation benches (DESIGN.md §5) -----------------------------------

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mheta-experiments [-scale paper|quick|test] [-which all|table1|fig8|fig9|fig9pf|fig9apps|fig10|fig11|ratios|search|latency]
+//	mheta-experiments [-scale paper|quick|test] [-which all|table1|fig8|fig9|fig9pf|fig9apps|fig10|fig11|ratios|search|latency] [-parallel N]
 //
 // Output is the text rendering of each experiment; EXPERIMENTS.md records
 // a reference run alongside the paper's numbers.
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"mheta/internal/apps"
@@ -26,6 +27,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: paper, quick or test")
 	which := flag.String("which", "all", "experiment to run: all, table1, fig8, fig9, fig9pf, fig9apps, fig10, fig11, ratios, search, interference, latency")
 	seed := flag.Uint64("seed", 0x8E7A, "noise seed")
+	parallel := flag.Int("parallel", 1, "worker goroutines for sweep fan-out and search evaluation (0 = all cores); results are identical for any worker count")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -41,6 +43,10 @@ func main() {
 	}
 	r := experiments.DefaultRunner(scale)
 	r.Seed = *seed
+	r.Workers = *parallel
+	if r.Workers <= 0 {
+		r.Workers = runtime.GOMAXPROCS(0)
+	}
 
 	run := func(name string, fn func() error) {
 		if *which != "all" && *which != name {

@@ -6,6 +6,7 @@
 //
 //	mheta-search -app jacobi -config HY1 -alg gbs
 //	mheta-search -app lanczos -config HY2 -alg all -verify
+//	mheta-search -app rna -config HY2 -alg genetic -parallel 0
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	alg := flag.String("alg", "gbs", "algorithm: gbs, genetic, annealing, random, all")
 	verify := flag.Bool("verify", false, "run the found distribution on the emulator and report the actual time")
 	seed := flag.Uint64("seed", 42, "noise seed")
+	parallel := flag.Int("parallel", 1, "evaluation workers per search (0 = all cores); results are identical for any worker count")
 	flag.Parse()
 
 	app, err := buildApp(*appName)
@@ -50,7 +52,7 @@ func main() {
 	fmt.Printf("%-10s %10s %8s  %s\n", "algorithm", "pred(s)", "evals", "distribution")
 	fmt.Printf("%-10s %10.3f %8s  %v\n", "blk", blkPred, "-", blk)
 	for _, a := range algs {
-		res, err := mheta.SearchWith(a, spec, app, model, *seed)
+		res, err := mheta.SearchWithWorkers(a, spec, app, model, *seed, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}

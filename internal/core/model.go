@@ -87,8 +87,28 @@ func MustModel(p Params) *Model {
 func (m *Model) Params() Params { return m.p }
 
 // Clone returns an independent Model sharing the (immutable) parameters,
-// for concurrent searches.
-func (m *Model) Clone() *Model { return MustModel(m.p) }
+// for concurrent searches: clone one Model per goroutine. The params and
+// the compiled stage-variable table are shared read-only; only the
+// per-evaluation scratch is duplicated, so cloning skips re-validation and
+// costs a handful of small allocations instead of a full NewModel.
+func (m *Model) Clone() *Model {
+	n := m.p.Nodes
+	layouts := make([][]memsim.Layout, n)
+	for i := range layouts {
+		layouts[i] = make([]memsim.Layout, len(m.p.DistVars))
+	}
+	return &Model{
+		p:        m.p,
+		stageVar: m.stageVar,
+		clock:    make([]float64, n),
+		busy:     make([]float64, n),
+		sendDone: make([]float64, n),
+		prevTile: make([]float64, n),
+		curTile:  make([]float64, n),
+		active:   make([]int, 0, n),
+		layouts:  layouts,
+	}
+}
 
 // Prediction is the output of one model evaluation.
 type Prediction struct {

@@ -311,6 +311,48 @@ func TestCloneIndependent(t *testing.T) {
 	}
 }
 
+func TestCloneCheapSharesNoScratch(t *testing.T) {
+	m := MustModel(handParams())
+	c := m.Clone()
+
+	// The cheap path shares the compiled immutable state instead of
+	// rebuilding it through NewModel; stageVar identity is the witness.
+	if &c.stageVar[0] != &m.stageVar[0] {
+		t.Fatal("clone rebuilt compiled state instead of sharing it")
+	}
+
+	// Every mutable scratch buffer must be distinct.
+	if &c.clock[0] == &m.clock[0] || &c.busy[0] == &m.busy[0] ||
+		&c.sendDone[0] == &m.sendDone[0] || &c.prevTile[0] == &m.prevTile[0] ||
+		&c.curTile[0] == &m.curTile[0] || &c.layouts[0][0] == &m.layouts[0][0] {
+		t.Fatal("clone shares scratch buffers with the parent")
+	}
+
+	// Interleaved predictions on parent and clone must not interfere.
+	want := m.Predict([]int{20, 0}).Total
+	c.Predict([]int{0, 20})
+	if got := m.Predict([]int{20, 0}).Total; got != want {
+		t.Fatalf("clone contaminated parent scratch: %v vs %v", got, want)
+	}
+}
+
+func TestCloneNeverPanics(t *testing.T) {
+	// Clone of any valid model must be cheap and panic-free — it skips
+	// re-validation entirely, so it cannot trip Validate even for edge
+	// parameter sets (zero iterations declared valid, single node, …).
+	for _, p := range []Params{handParams(), func() Params {
+		p := handParams()
+		p.Iterations = 100
+		return p
+	}()} {
+		m := MustModel(p)
+		c := m.Clone()
+		if c.Predict(p.BaseDist).Total != m.Predict(p.BaseDist).Total {
+			t.Fatal("clone predicts differently")
+		}
+	}
+}
+
 func TestTotalScalesWithIterations(t *testing.T) {
 	p := handParams()
 	p.Iterations = 7

@@ -88,6 +88,26 @@ func (d Distribution) Validate(total int) error {
 // String renders the distribution compactly, e.g. "[128 128 64 ...]".
 func (d Distribution) String() string { return fmt.Sprint([]int(d)) }
 
+// Hash returns a 64-bit hash of the distribution, suitable as a memo key
+// in search loops (it replaces the allocating String()-keyed memo). The
+// hash chains one splitmix64 round per block, so nearby distributions —
+// the common case along a spectrum leg — scatter across the full 64-bit
+// range. It allocates nothing.
+//
+// Collisions are possible in principle; a search evaluates at most a few
+// thousand distinct distributions, so the expected collision probability
+// is below 1e-12 (birthday bound on 64 bits).
+func (d Distribution) Hash() uint64 {
+	h := 0x9E3779B97F4A7C15 ^ uint64(len(d))
+	for _, b := range d {
+		z := uint64(b) + 0x9E3779B97F4A7C15 + h
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		h = z ^ (z >> 31)
+	}
+	return h
+}
+
 // Block returns the Blk distribution: elements divided evenly across
 // nodes "without regard for I/O cost or load balance", remainder spread
 // one extra element to the first nodes.
@@ -207,6 +227,14 @@ func InCoreBalanced(total int, spec cluster.Spec, bytesPerElem int64) Distributi
 // total. Zero or negative weights receive zero elements (unless all
 // weights are non-positive, which panics).
 func Proportional(total int, weights []float64) Distribution {
+	return ProportionalInto(nil, total, weights)
+}
+
+// ProportionalInto is Proportional writing into dst's backing array when
+// its capacity suffices (dst may be nil). It performs no allocations on
+// the reuse path, which is what lets the search inner loops generate
+// candidate distributions at full speed.
+func ProportionalInto(dst Distribution, total int, weights []float64) Distribution {
 	n := len(weights)
 	if n == 0 {
 		panic("dist: Proportional with no weights")
@@ -220,37 +248,63 @@ func Proportional(total int, weights []float64) Distribution {
 	if wsum <= 0 {
 		panic("dist: Proportional with no positive weights")
 	}
-	d := make(Distribution, n)
-	type rem struct {
-		i    int
-		frac float64
+	return largestRemainder(dst, total, wsum, n, func(i int) float64 { return weights[i] })
+}
+
+// largestRemainder fills dst (resized to n, reusing capacity) with the
+// largest-remainder rounding of total split proportionally to weight(i),
+// normalised by wsum (the precomputed sum of positive weights). Instead of
+// keeping a fractional-part scratch array it recomputes each weight's
+// exact share on demand and detects already-topped-up entries by comparing
+// dst[i] against the share's floor — identical selection order to the
+// classic array formulation (first strict maximum wins, ties break toward
+// lower index), with zero allocations when dst capacity suffices.
+func largestRemainder(dst Distribution, total int, wsum float64, n int, weight func(int) float64) Distribution {
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make(Distribution, n)
 	}
-	rems := make([]rem, 0, n)
 	assigned := 0
-	for i, w := range weights {
+	for i := 0; i < n; i++ {
+		w := weight(i)
 		if w <= 0 {
-			rems = append(rems, rem{i, 0})
+			dst[i] = 0
 			continue
 		}
 		exact := float64(total) * w / wsum
-		d[i] = int(exact)
-		assigned += d[i]
-		rems = append(rems, rem{i, exact - float64(d[i])})
+		dst[i] = int(exact)
+		assigned += dst[i]
 	}
-	// Hand the leftover elements to the largest fractional parts;
-	// ties break toward lower index for determinism.
+	// Hand the leftover elements to the largest fractional parts; ties
+	// break toward lower index for determinism. frac(i) is recomputed per
+	// pass (same IEEE expression, hence bit-identical each time); an entry
+	// that already received its extra element has dst[i] == floor+1 and is
+	// excluded, exactly like the frac=-1 marker of the array version.
 	for assigned < total {
-		best := -1
-		for j := range rems {
-			if best == -1 || rems[j].frac > rems[best].frac {
-				best = j
+		best, bestFrac := -1, 0.0
+		for i := 0; i < n; i++ {
+			w := weight(i)
+			frac, floor := 0.0, 0
+			if w > 0 {
+				exact := float64(total) * w / wsum
+				floor = int(exact)
+				frac = exact - float64(floor)
+			}
+			if dst[i] > floor {
+				continue // already topped up
+			}
+			if best == -1 || frac > bestFrac {
+				best, bestFrac = i, frac
 			}
 		}
-		d[rems[best].i]++
-		rems[best].frac = -1
+		if best == -1 {
+			best = 0 // unreachable outside pathological fp; match array version
+		}
+		dst[best]++
 		assigned++
 	}
-	return d
+	return dst
 }
 
 // capRepair shifts elements from over-capacity nodes to nodes with

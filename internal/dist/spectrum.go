@@ -116,33 +116,47 @@ func walk(anchors []SpectrumPoint, stepsPerLeg int) []SpectrumPoint {
 // producing a valid distribution (non-negative, same total) via
 // largest-remainder rounding.
 func Lerp(a, b Distribution, t float64) Distribution {
+	return LerpInto(nil, a, b, t)
+}
+
+// LerpInto is Lerp writing into dst's backing array when its capacity
+// suffices (dst may be nil). The interpolated weights are recomputed on
+// the fly instead of materialised, so the reuse path allocates nothing —
+// this is what the GBS inner loop calls per probe.
+func LerpInto(dst Distribution, a, b Distribution, t float64) Distribution {
 	if len(a) != len(b) {
 		panic("dist: Lerp length mismatch")
 	}
 	if t <= 0 {
-		return a.Clone()
+		return copyInto(dst, a)
 	}
 	if t >= 1 {
-		return b.Clone()
+		return copyInto(dst, b)
 	}
-	total := a.Total()
-	weights := make([]float64, len(a))
+	// A node with zero in both anchors has weight 0 and correctly receives
+	// nothing; no epsilon needed. If every weight is zero (total==0),
+	// return a copy of a.
+	var wsum float64
 	for i := range a {
-		weights[i] = (1-t)*float64(a[i]) + t*float64(b[i])
-	}
-	// All-zero rows stay zero through Proportional only if weight is
-	// non-positive; a tiny epsilon is unnecessary because a node with
-	// zero in both anchors has weight 0 and correctly receives nothing.
-	// If every weight is zero (total==0), return a copy of a.
-	allZero := true
-	for _, w := range weights {
-		if w > 0 {
-			allZero = false
-			break
+		if w := (1-t)*float64(a[i]) + t*float64(b[i]); w > 0 {
+			wsum += w
 		}
 	}
-	if allZero {
-		return a.Clone()
+	if wsum <= 0 {
+		return copyInto(dst, a)
 	}
-	return Proportional(total, weights)
+	return largestRemainder(dst, a.Total(), wsum, len(a), func(i int) float64 {
+		return (1-t)*float64(a[i]) + t*float64(b[i])
+	})
+}
+
+// copyInto copies src into dst, reusing dst's capacity when possible.
+func copyInto(dst, src Distribution) Distribution {
+	if cap(dst) >= len(src) {
+		dst = dst[:len(src)]
+	} else {
+		dst = make(Distribution, len(src))
+	}
+	copy(dst, src)
+	return dst
 }

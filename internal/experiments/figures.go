@@ -131,18 +131,41 @@ func aggregate(title string, sweeps []SweepResult) Fig9Panel {
 	return panel
 }
 
+// sweepJob names one (architecture, application) sweep of a fan-out.
+type sweepJob struct {
+	spec cluster.Spec
+	ab   AppBuilder
+}
+
+// runSweepJobs executes the jobs — concurrently on Runner.Workers
+// goroutines — and returns their results in job order. Each sweep builds
+// its own app, world and model, so the fan-out changes wall-clock time
+// only, never the numbers.
+func (r *Runner) runSweepJobs(jobs []sweepJob, fullWalk bool) ([]SweepResult, error) {
+	sweeps := make([]SweepResult, len(jobs))
+	err := r.fanOut(len(jobs), func(i int) error {
+		s, err := r.Sweep(jobs[i].spec, jobs[i].ab, fullWalk)
+		sweeps[i] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sweeps, nil
+}
+
 // Figure9All runs the top-left panel: all four applications over the
 // seventeen emulated architectures, no prefetching.
 func (r *Runner) Figure9All() (Fig9Panel, error) {
-	var sweeps []SweepResult
+	var jobs []sweepJob
 	for _, spec := range cluster.Sweep17() {
 		for _, ab := range PaperApps() {
-			s, err := r.Sweep(spec, ab, true)
-			if err != nil {
-				return Fig9Panel{}, err
-			}
-			sweeps = append(sweeps, s)
+			jobs = append(jobs, sweepJob{spec, ab})
 		}
+	}
+	sweeps, err := r.runSweepJobs(jobs, true)
+	if err != nil {
+		return Fig9Panel{}, err
 	}
 	return aggregate("Figure 9 (top-left): all applications, no prefetching, 17 architectures", sweeps), nil
 }
@@ -150,13 +173,13 @@ func (r *Runner) Figure9All() (Fig9Panel, error) {
 // Figure9Prefetch runs the top-right panel: Jacobi with prefetching over
 // the twelve I/O-relevant architectures.
 func (r *Runner) Figure9Prefetch() (Fig9Panel, error) {
-	var sweeps []SweepResult
+	var jobs []sweepJob
 	for _, spec := range cluster.Sweep12() {
-		s, err := r.Sweep(spec, JacobiBuilder(true), true)
-		if err != nil {
-			return Fig9Panel{}, err
-		}
-		sweeps = append(sweeps, s)
+		jobs = append(jobs, sweepJob{spec, JacobiBuilder(true)})
+	}
+	sweeps, err := r.runSweepJobs(jobs, true)
+	if err != nil {
+		return Fig9Panel{}, err
 	}
 	return aggregate("Figure 9 (top-right): Jacobi with prefetching, 12 architectures", sweeps), nil
 }
@@ -164,13 +187,13 @@ func (r *Runner) Figure9Prefetch() (Fig9Panel, error) {
 // Figure9App runs a bottom panel for one application over the seventeen
 // architectures (the paper shows RNA as the best case and CG the worst).
 func (r *Runner) Figure9App(ab AppBuilder) (Fig9Panel, error) {
-	var sweeps []SweepResult
+	var jobs []sweepJob
 	for _, spec := range cluster.Sweep17() {
-		s, err := r.Sweep(spec, ab, true)
-		if err != nil {
-			return Fig9Panel{}, err
-		}
-		sweeps = append(sweeps, s)
+		jobs = append(jobs, sweepJob{spec, ab})
+	}
+	sweeps, err := r.runSweepJobs(jobs, true)
+	if err != nil {
+		return Fig9Panel{}, err
 	}
 	return aggregate(fmt.Sprintf("Figure 9 (bottom): %s, 17 architectures", ab.Name), sweeps), nil
 }
@@ -208,16 +231,21 @@ func (r *Runner) Figure11() ([]Fig1011, error) {
 }
 
 func (r *Runner) figConfigs(fig string, specs []cluster.Spec) ([]Fig1011, error) {
-	var out []Fig1011
+	apps := PaperApps()
+	var jobs []sweepJob
 	for _, spec := range specs {
-		f := Fig1011{Title: fmt.Sprintf("%s: configuration %s", fig, spec.Name)}
-		for _, ab := range PaperApps() {
-			s, err := r.Sweep(spec, ab, false)
-			if err != nil {
-				return nil, err
-			}
-			f.Sweeps = append(f.Sweeps, s)
+		for _, ab := range apps {
+			jobs = append(jobs, sweepJob{spec, ab})
 		}
+	}
+	sweeps, err := r.runSweepJobs(jobs, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig1011
+	for si, spec := range specs {
+		f := Fig1011{Title: fmt.Sprintf("%s: configuration %s", fig, spec.Name)}
+		f.Sweeps = append(f.Sweeps, sweeps[si*len(apps):(si+1)*len(apps)]...)
 		out = append(out, f)
 	}
 	return out, nil

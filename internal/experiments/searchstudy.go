@@ -49,7 +49,12 @@ func (r *Runner) RunSearchStudy(spec cluster.Spec, ab AppBuilder) (SearchStudy, 
 	if err != nil {
 		return SearchStudy{}, err
 	}
-	ev := search.ModelEvaluator{Model: model}
+	var ev search.Evaluator = search.ModelEvaluator{Model: model}
+	if w := r.workers(); w > 1 {
+		// Candidate evaluations fan out over per-worker model clones;
+		// search results are bit-identical to the serial path.
+		ev = search.NewPool(ev, w)
+	}
 
 	study := SearchStudy{Config: spec.Name, App: ab.Name}
 	actual := func(d dist.Distribution) (float64, error) {

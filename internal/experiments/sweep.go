@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"mheta/internal/cluster"
 	"mheta/internal/core"
@@ -24,6 +25,11 @@ type Runner struct {
 	// StepsPerLeg controls spectrum resolution (default 3, i.e. two
 	// interior points per leg — comparable to the paper's plots).
 	StepsPerLeg int
+	// Workers fans independent (architecture, application) sweeps and
+	// search evaluations out over this many goroutines; <= 1 runs
+	// serially. Every sweep is seeded independently, so results are
+	// identical for any worker count.
+	Workers int
 }
 
 // DefaultRunner returns the standard configuration at the given scale.
@@ -36,6 +42,50 @@ func (r *Runner) steps() int {
 		return 3
 	}
 	return r.StepsPerLeg
+}
+
+func (r *Runner) workers() int {
+	if r.Workers < 1 {
+		return 1
+	}
+	return r.Workers
+}
+
+// fanOut runs job(0..n-1) on the runner's workers, each job exactly once,
+// and returns the lowest-indexed error (so failures are deterministic
+// regardless of scheduling). Jobs must write their results into
+// caller-owned slots indexed by job number.
+func (r *Runner) fanOut(n int, job func(int) error) error {
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < n; i += w {
+				errs[i] = job(i)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Point is one measured spectrum position.

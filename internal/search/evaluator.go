@@ -18,3 +18,11 @@ type ModelEvaluator struct {
 func (m ModelEvaluator) Evaluate(d dist.Distribution) float64 {
 	return m.Model.Predict(d).Total
 }
+
+// CloneEvaluator implements CloneableEvaluator: a Model reuses scratch
+// across Predict calls and is not safe for concurrent use, so a Pool
+// clones one per worker. Clones share the immutable parameters and
+// produce bit-identical predictions.
+func (m ModelEvaluator) CloneEvaluator() Evaluator {
+	return ModelEvaluator{Model: m.Model.Clone()}
+}

@@ -14,6 +14,14 @@ import (
 // discretises each leg to Resolution interior points and narrows by
 // golden-ratio-style thirds, so it spends O(legs·log Resolution) model
 // evaluations.
+//
+// The legs narrow in lockstep — every round shrinks each active leg's
+// span by the same third, so all legs finish together — which lets one
+// batch carry both ternary probes of every leg (2·legs candidates), and a
+// final batch carry every leg's surviving scan points. With a *Pool
+// evaluator those batches score concurrently; candidate distributions are
+// generated with dist.LerpInto into per-leg scratch, and scores are
+// memoised by Memo, so the steady-state loop performs no allocations.
 type GBS struct {
 	Spec cluster.Spec
 	// BytesPerElem is the combined per-element footprint of the
@@ -26,62 +34,93 @@ type GBS struct {
 // Name implements Searcher.
 func (g *GBS) Name() string { return "gbs" }
 
+// gbsLeg is one active spectrum leg's ternary-search state. probes holds
+// the leg's reusable candidate buffers: two for the narrowing probes,
+// three for the final scan (hi−lo ≤ 2 when narrowing stops).
+type gbsLeg struct {
+	a, b   dist.Distribution
+	lo, hi int
+	probes [3]dist.Distribution
+}
+
+// point interpolates discretisation index k into buffer slot s.
+func (l *gbsLeg) point(k, res, s int) dist.Distribution {
+	l.probes[s] = dist.LerpInto(l.probes[s], l.a, l.b, float64(k)/float64(res))
+	return l.probes[s]
+}
+
 // Search implements Searcher.
 func (g *GBS) Search(ev Evaluator, total int) Result {
 	res := g.Resolution
 	if res <= 0 {
 		res = 64
 	}
-	cev := &countingEvaluator{inner: ev}
+	memo := NewMemo(ev)
 	anchors := dist.Anchors(total, g.Spec, g.BytesPerElem)
 
-	best := anchors[0].Dist.Clone()
-	bestT := cev.Evaluate(best)
-	consider := func(d dist.Distribution) {
-		t := cev.Evaluate(d)
-		if t < bestT {
-			bestT, best = t, d.Clone()
+	// Score every anchor in one batch (the memo collapses duplicates, so
+	// a degenerate architecture whose anchors coincide costs one
+	// evaluation).
+	anchorDists := make([]dist.Distribution, len(anchors))
+	for i := range anchors {
+		anchorDists[i] = anchors[i].Dist
+	}
+	anchorT := memo.EvaluateBatch(anchorDists)
+	best, bestT := anchors[0].Dist.Clone(), anchorT[0]
+	for i := 1; i < len(anchors); i++ {
+		if anchorT[i] < bestT {
+			bestT, best = anchorT[i], anchors[i].Dist.Clone()
 		}
 	}
 
-	memo := make(map[string]float64)
+	// Collect the non-degenerate legs.
+	var legs []*gbsLeg
 	for leg := 0; leg+1 < len(anchors); leg++ {
 		a, b := anchors[leg].Dist, anchors[leg+1].Dist
 		if a.Equal(b) {
 			continue
 		}
-		consider(b)
-		// Ternary search over the discretised leg.
-		lo, hi := 0, res
-		point := func(k int) dist.Distribution {
-			return dist.Lerp(a, b, float64(k)/float64(res))
+		legs = append(legs, &gbsLeg{a: a, b: b, lo: 0, hi: res})
+	}
+	if len(legs) == 0 {
+		return Result{Best: best, Time: bestT, Evaluations: memo.Evaluations(), Algorithm: g.Name()}
+	}
+
+	batchD := make([]dist.Distribution, 0, 3*len(legs))
+	batchT := make([]float64, 3*len(legs))
+
+	// Ternary narrowing: every leg's span shrinks from w to w−w/3 each
+	// round regardless of which probe wins, so all legs stay in lockstep
+	// and each round is one 2·legs-wide batch.
+	for legs[0].hi-legs[0].lo > 2 {
+		batchD = batchD[:0]
+		for _, l := range legs {
+			m1 := l.lo + (l.hi-l.lo)/3
+			m2 := l.hi - (l.hi-l.lo)/3
+			batchD = append(batchD, l.point(m1, res, 0), l.point(m2, res, 1))
 		}
-		eval := func(k int) float64 {
-			d := point(k)
-			key := d.String()
-			if t, ok := memo[key]; ok {
-				return t
-			}
-			t := cev.Evaluate(d)
-			memo[key] = t
-			return t
-		}
-		for hi-lo > 2 {
-			m1 := lo + (hi-lo)/3
-			m2 := hi - (hi-lo)/3
-			if eval(m1) <= eval(m2) {
-				hi = m2
+		memo.EvaluateBatchInto(batchT[:len(batchD)], batchD)
+		for i, l := range legs {
+			if batchT[2*i] <= batchT[2*i+1] {
+				l.hi = l.hi - (l.hi-l.lo)/3
 			} else {
-				lo = m1
-			}
-		}
-		for k := lo; k <= hi; k++ {
-			d := point(k)
-			t := eval(k)
-			if t < bestT {
-				bestT, best = t, d.Clone()
+				l.lo = l.lo + (l.hi-l.lo)/3
 			}
 		}
 	}
-	return Result{Best: best, Time: bestT, Evaluations: cev.n, Algorithm: g.Name()}
+
+	// Final scan: every leg's surviving ≤3 points in one batch.
+	batchD = batchD[:0]
+	for _, l := range legs {
+		for k := l.lo; k <= l.hi; k++ {
+			batchD = append(batchD, l.point(k, res, k-l.lo))
+		}
+	}
+	memo.EvaluateBatchInto(batchT[:len(batchD)], batchD)
+	for i, d := range batchD {
+		if batchT[i] < bestT {
+			bestT, best = batchT[i], d.Clone()
+		}
+	}
+	return Result{Best: best, Time: bestT, Evaluations: memo.Evaluations(), Algorithm: g.Name()}
 }

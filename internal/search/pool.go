@@ -1,0 +1,264 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mheta/internal/dist"
+)
+
+// BatchEvaluator is an Evaluator that can score many candidates at once.
+// The searchers emit their independent candidates in batches; a
+// BatchEvaluator is free to spread a batch across goroutines as long as
+// out[i] is the same value a serial Evaluate(ds[i]) would produce.
+type BatchEvaluator interface {
+	Evaluator
+	// EvaluateBatchInto scores ds[i] into out[i]; len(out) must equal
+	// len(ds). Implementations must not retain ds past the call.
+	EvaluateBatchInto(out []float64, ds []dist.Distribution)
+}
+
+// CloneableEvaluator is implemented by evaluators that are not safe for
+// concurrent use; NewPool gives each worker its own clone instead of
+// sharing one instance. ModelEvaluator implements it by cloning the
+// underlying core.Model (one per goroutine, as the Model doc requires).
+type CloneableEvaluator interface {
+	Evaluator
+	// CloneEvaluator returns an independent evaluator that produces
+	// bit-identical scores.
+	CloneEvaluator() Evaluator
+}
+
+// Pool evaluates candidate batches concurrently on a fixed set of
+// workers. Worker w owns its own evaluator (a clone when the source
+// implements CloneableEvaluator), and batch element i is always scored by
+// worker i%workers, so results are bit-identical for any worker count —
+// parallelism changes wall-clock time, never the search outcome.
+//
+// A Pool is itself an Evaluator (serial, on worker 0) and a
+// BatchEvaluator, so every searcher accepts one directly. It has no
+// background goroutines and needs no Close; workers are spawned per
+// batch and a single-worker Pool evaluates inline.
+type Pool struct {
+	evs []Evaluator
+}
+
+// NewPool builds a pool of n workers over ev. n <= 0 selects
+// runtime.GOMAXPROCS(0). If ev implements CloneableEvaluator each worker
+// beyond the first gets a clone; otherwise ev is shared and must be safe
+// for concurrent use (pure functions are).
+func NewPool(ev Evaluator, n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	evs := make([]Evaluator, n)
+	evs[0] = ev
+	for i := 1; i < n; i++ {
+		if c, ok := ev.(CloneableEvaluator); ok {
+			evs[i] = c.CloneEvaluator()
+		} else {
+			evs[i] = ev
+		}
+	}
+	return &Pool{evs: evs}
+}
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return len(p.evs) }
+
+// Evaluate implements Evaluator on worker 0.
+func (p *Pool) Evaluate(d dist.Distribution) float64 { return p.evs[0].Evaluate(d) }
+
+// EvaluateBatch scores each candidate and returns the results in input
+// order. See EvaluateBatchInto for the allocation-free variant.
+func (p *Pool) EvaluateBatch(ds []dist.Distribution) []float64 {
+	out := make([]float64, len(ds))
+	p.EvaluateBatchInto(out, ds)
+	return out
+}
+
+// EvaluateBatchInto implements BatchEvaluator: batch element i is scored
+// by worker i%workers, each worker striding through the batch on its own
+// evaluator.
+func (p *Pool) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
+	if len(out) != len(ds) {
+		panic("search: batch output length mismatch")
+	}
+	w := len(p.evs)
+	if w > len(ds) {
+		w = len(ds)
+	}
+	if w <= 1 {
+		if len(ds) > 0 {
+			evalStride(p.evs[0], out, ds, 0, 1)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			evalStride(p.evs[k], out, ds, k, w)
+		}(k)
+	}
+	wg.Wait()
+}
+
+func evalStride(ev Evaluator, out []float64, ds []dist.Distribution, start, stride int) {
+	for i := start; i < len(ds); i += stride {
+		out[i] = ev.Evaluate(ds[i])
+	}
+}
+
+// Memo is a thread-safe memoising evaluator keyed by the cheap 64-bit
+// dist.Distribution.Hash. It replaces the allocating String()-keyed memo
+// the serial GBS carried: hits cost two map operations and zero
+// allocations. Batch evaluation deduplicates within the batch and against
+// the table, forwards only the fresh candidates to the inner evaluator
+// (concurrently, when the inner evaluator is a Pool), and counts exactly
+// the fresh evaluations — so Evaluations is identical for any worker
+// count.
+type Memo struct {
+	mu     sync.RWMutex
+	table  map[uint64]float64
+	single Evaluator
+	batch  BatchEvaluator // non-nil when single supports batching
+	misses atomic.Int64
+
+	// batch scratch, guarded by mu; reused so fully-memoised batches
+	// allocate nothing.
+	hashes []uint64
+	freshD []dist.Distribution
+	freshH []uint64
+	freshT []float64
+}
+
+// NewMemo wraps ev (batch-aware when it implements BatchEvaluator) with a
+// fresh memo table.
+func NewMemo(ev Evaluator) *Memo {
+	m := &Memo{table: make(map[uint64]float64), single: ev}
+	if be, ok := ev.(BatchEvaluator); ok {
+		m.batch = be
+	}
+	return m
+}
+
+// Evaluate implements Evaluator with memoisation.
+func (m *Memo) Evaluate(d dist.Distribution) float64 {
+	h := d.Hash()
+	m.mu.RLock()
+	t, ok := m.table[h]
+	m.mu.RUnlock()
+	if ok {
+		return t
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.table[h]; ok {
+		return t
+	}
+	t = m.single.Evaluate(d)
+	m.misses.Add(1)
+	m.table[h] = t
+	return t
+}
+
+// EvaluateBatch scores each candidate (memoised) and returns the results
+// in input order.
+func (m *Memo) EvaluateBatch(ds []dist.Distribution) []float64 {
+	out := make([]float64, len(ds))
+	m.EvaluateBatchInto(out, ds)
+	return out
+}
+
+// EvaluateBatchInto implements BatchEvaluator. Only candidates absent
+// from the table are forwarded to the inner evaluator, each distinct
+// distribution at most once per batch.
+func (m *Memo) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
+	if len(out) != len(ds) {
+		panic("search: batch output length mismatch")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hashes = m.hashes[:0]
+	m.freshD = m.freshD[:0]
+	m.freshH = m.freshH[:0]
+	for _, d := range ds {
+		h := d.Hash()
+		m.hashes = append(m.hashes, h)
+		if _, ok := m.table[h]; ok {
+			continue
+		}
+		// Reserve the key so an in-batch duplicate is evaluated once; the
+		// placeholder is overwritten below before the lock is released.
+		m.table[h] = 0
+		m.freshD = append(m.freshD, d)
+		m.freshH = append(m.freshH, h)
+	}
+	if len(m.freshD) > 0 {
+		if cap(m.freshT) < len(m.freshD) {
+			m.freshT = make([]float64, len(m.freshD))
+		}
+		m.freshT = m.freshT[:len(m.freshD)]
+		if m.batch != nil {
+			m.batch.EvaluateBatchInto(m.freshT, m.freshD)
+		} else {
+			evalStride(m.single, m.freshT, m.freshD, 0, 1)
+		}
+		m.misses.Add(int64(len(m.freshD)))
+		for i, h := range m.freshH {
+			m.table[h] = m.freshT[i]
+		}
+	}
+	for i, h := range m.hashes {
+		out[i] = m.table[h]
+	}
+}
+
+// Evaluations reports how many inner (non-memoised) evaluations were
+// performed.
+func (m *Memo) Evaluations() int { return int(m.misses.Load()) }
+
+// Len reports the number of memoised distributions.
+func (m *Memo) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.table)
+}
+
+// counter wraps an Evaluator with an atomic evaluation count and a batch
+// path that forwards to the inner BatchEvaluator when available. The
+// stochastic searchers count every call (they do not memoise, preserving
+// the serial algorithms' Evaluations exactly); GBS counts through Memo
+// instead.
+type counter struct {
+	single Evaluator
+	batch  BatchEvaluator // non-nil when single supports batching
+	n      atomic.Int64
+}
+
+func newCounter(ev Evaluator) *counter {
+	c := &counter{single: ev}
+	if be, ok := ev.(BatchEvaluator); ok {
+		c.batch = be
+	}
+	return c
+}
+
+func (c *counter) eval(d dist.Distribution) float64 {
+	c.n.Add(1)
+	return c.single.Evaluate(d)
+}
+
+func (c *counter) evalBatch(out []float64, ds []dist.Distribution) {
+	c.n.Add(int64(len(ds)))
+	if c.batch != nil {
+		c.batch.EvaluateBatchInto(out, ds)
+		return
+	}
+	evalStride(c.single, out, ds, 0, 1)
+}
+
+func (c *counter) count() int { return int(c.n.Load()) }

@@ -33,19 +33,6 @@ type EvaluatorFunc func(d dist.Distribution) float64
 // Evaluate implements Evaluator.
 func (f EvaluatorFunc) Evaluate(d dist.Distribution) float64 { return f(d) }
 
-// countingEvaluator wraps an Evaluator and counts calls — every algorithm
-// reports how many model evaluations it spent, since evaluation cost
-// (≈5.4 ms in the paper) bounds how elaborate a runtime search can be.
-type countingEvaluator struct {
-	inner Evaluator
-	n     int
-}
-
-func (c *countingEvaluator) Evaluate(d dist.Distribution) float64 {
-	c.n++
-	return c.inner.Evaluate(d)
-}
-
 // Result is a search outcome.
 type Result struct {
 	Best        dist.Distribution
@@ -59,7 +46,13 @@ func (r Result) String() string {
 	return fmt.Sprintf("%s: %.4fs in %d evals, dist=%v", r.Algorithm, r.Time, r.Evaluations, r.Best)
 }
 
-// Searcher is one distribution-selection algorithm.
+// Searcher is one distribution-selection algorithm. Every searcher emits
+// its candidates in batches, so passing a *Pool as the Evaluator spreads
+// the model evaluations across workers; results (Best, Time, Evaluations)
+// are bit-identical for any worker count, including a plain serial
+// Evaluator. Evaluation counts are tracked atomically — they measure how
+// many model evaluations the search spent, since evaluation cost (≈5.4 ms
+// in the paper) bounds how elaborate a runtime search can be.
 type Searcher interface {
 	// Search returns the best distribution found for total elements.
 	Search(ev Evaluator, total int) Result

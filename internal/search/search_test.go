@@ -137,11 +137,13 @@ func TestSearchersDeterministic(t *testing.T) {
 }
 
 func TestCountingEvaluator(t *testing.T) {
-	c := &countingEvaluator{inner: EvaluatorFunc(func(d dist.Distribution) float64 { return 1 })}
-	c.Evaluate(dist.Distribution{1})
-	c.Evaluate(dist.Distribution{1})
-	if c.n != 2 {
-		t.Fatalf("count %d", c.n)
+	c := newCounter(EvaluatorFunc(func(d dist.Distribution) float64 { return 1 }))
+	c.eval(dist.Distribution{1})
+	c.eval(dist.Distribution{1})
+	out := make([]float64, 3)
+	c.evalBatch(out, []dist.Distribution{{1}, {2}, {3}})
+	if c.count() != 5 {
+		t.Fatalf("count %d, want 5", c.count())
 	}
 }
 

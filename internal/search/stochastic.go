@@ -10,6 +10,9 @@ import (
 
 // Random samples Budget random GEN_BLOCK distributions (plus the Blk
 // baseline) and keeps the best — the companion paper's control algorithm.
+// The budget is evaluated in chunks: candidates are drawn serially from
+// the seeded noise stream (so the sample set is identical for any worker
+// count), then each chunk is scored in one batch.
 type Random struct {
 	N      int // node count to distribute over
 	Budget int
@@ -19,30 +22,49 @@ type Random struct {
 // Name implements Searcher.
 func (r *Random) Name() string { return "random" }
 
+// randomChunk bounds how many candidates Random materialises between
+// batch evaluations.
+const randomChunk = 64
+
 // Search implements Searcher.
 func (r *Random) Search(ev Evaluator, total int) Result {
 	budget := r.Budget
 	if budget <= 0 {
 		budget = 256
 	}
-	cev := &countingEvaluator{inner: ev}
+	cev := newCounter(ev)
 	nz := vclock.NewNoise(r.Seed^0xAAD0, 0)
 	n := r.N
 	best := dist.Block(total, n)
-	bestT := cev.Evaluate(best)
-	for i := 1; i < budget; i++ {
-		d := randomDist(nz, n, total, 0.1)
-		t := cev.Evaluate(d)
-		if t < bestT {
-			bestT, best = t, d
+	bestT := cev.eval(best)
+	ds := make([]dist.Distribution, 0, randomChunk)
+	ts := make([]float64, randomChunk)
+	for remaining := budget - 1; remaining > 0; {
+		k := randomChunk
+		if k > remaining {
+			k = remaining
 		}
+		ds = ds[:0]
+		for i := 0; i < k; i++ {
+			ds = append(ds, randomDist(nz, n, total, 0.1))
+		}
+		cev.evalBatch(ts[:k], ds)
+		for i := 0; i < k; i++ {
+			if ts[i] < bestT {
+				bestT, best = ts[i], ds[i]
+			}
+		}
+		remaining -= k
 	}
-	return Result{Best: best, Time: bestT, Evaluations: cev.n, Algorithm: r.Name()}
+	return Result{Best: best, Time: bestT, Evaluations: cev.count(), Algorithm: r.Name()}
 }
 
 // Genetic is a generational GA over GEN_BLOCK distributions: tournament
-// selection, per-node arithmetic crossover with largest-remainder repair,
-// and element-migration mutation.
+// selection, per-node arithmetic crossover with largest-remainder
+// rounding, and element-migration mutation. Offspring are bred serially
+// from the seeded noise stream, then each generation is scored in one
+// batch (the draws never depend on the current generation's scores, so
+// batching is exact, not approximate).
 type Genetic struct {
 	N           int
 	Population  int
@@ -73,7 +95,7 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 	if mp <= 0 {
 		mp = 0.3
 	}
-	cev := &countingEvaluator{inner: ev}
+	cev := newCounter(ev)
 	nz := vclock.NewNoise(g.Seed^0x6E7E, 0)
 
 	cur := make([]scored, 0, pop)
@@ -81,8 +103,14 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 	for len(cur) < pop {
 		cur = append(cur, scored{randomDist(nz, g.N, total, 0.1), 0})
 	}
+	ds := make([]dist.Distribution, pop)
+	ts := make([]float64, pop)
 	for i := range cur {
-		cur[i].t = cev.Evaluate(cur[i].d)
+		ds[i] = cur[i].d
+	}
+	cev.evalBatch(ts[:pop], ds[:pop])
+	for i := range cur {
+		cur[i].t = ts[i]
 	}
 	sort.Slice(cur, func(i, j int) bool { return cur[i].t < cur[j].t })
 
@@ -93,27 +121,40 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 		}
 		return cur[b].d
 	}
+	weights := make([]float64, g.N)
 	for gen := 0; gen < gens; gen++ {
-		next := make([]scored, 0, pop)
-		// Elitism: carry the two best forward unchanged.
-		next = append(next, cur[0], cur[1])
-		for len(next) < pop {
+		// Breed the generation's offspring serially, then score them in
+		// one batch. Elitism: the two best carry forward unchanged.
+		nOff := pop - 2
+		for i := 0; i < nOff; i++ {
 			a, b := tournament(), tournament()
-			child := make(dist.Distribution, g.N)
 			mix := nz.Float64()
-			for i := range child {
-				child[i] = int(mix*float64(a[i]) + (1-mix)*float64(b[i]))
+			for j := range weights {
+				weights[j] = mix*float64(a[j]) + (1-mix)*float64(b[j])
 			}
-			child = repair(child, total)
+			// Largest-remainder rounding, exactly as dist.Proportional:
+			// per-node truncation would always round toward zero and leave
+			// a deficit for repair to redistribute, systematically biasing
+			// offspring away from their parents' mix.
+			child := make(dist.Distribution, g.N)
+			if total > 0 {
+				child = dist.ProportionalInto(child, total, weights)
+			}
 			if nz.Float64() < mp {
 				mutate(nz, child, total)
 			}
-			next = append(next, scored{child, cev.Evaluate(child)})
+			ds[i] = child
+		}
+		cev.evalBatch(ts[:nOff], ds[:nOff])
+		next := make([]scored, 0, pop)
+		next = append(next, cur[0], cur[1])
+		for i := 0; i < nOff; i++ {
+			next = append(next, scored{ds[i], ts[i]})
 		}
 		cur = next
 		sort.Slice(cur, func(i, j int) bool { return cur[i].t < cur[j].t })
 	}
-	return Result{Best: cur[0].d.Clone(), Time: cur[0].t, Evaluations: cev.n, Algorithm: g.Name()}
+	return Result{Best: cur[0].d.Clone(), Time: cur[0].t, Evaluations: cev.count(), Algorithm: g.Name()}
 }
 
 // mutate moves a random fraction of one node's block to another node.
@@ -142,13 +183,19 @@ func mutate(nz *vclock.Noise, d dist.Distribution, total int) {
 }
 
 // Annealing is simulated annealing with an element-migration neighbour
-// move and geometric cooling.
+// move and geometric cooling. With Fan > 1 each step drafts a fan of
+// speculative neighbours from the current state, scores them in one batch
+// (concurrently on a *Pool), and feeds the best to the usual
+// accept/reject rule; Fan 1 reproduces the classic single-neighbour
+// chain exactly.
 type Annealing struct {
 	N       int
 	Steps   int
 	T0      float64 // initial temperature as a fraction of the start cost
 	Cooling float64 // geometric factor per step
-	Seed    uint64
+	// Fan is the speculative neighbour count per step (default 1).
+	Fan  int
+	Seed uint64
 }
 
 // Name implements Searcher.
@@ -168,24 +215,44 @@ func (a *Annealing) Search(ev Evaluator, total int) Result {
 	if cool <= 0 || cool >= 1 {
 		cool = 0.992
 	}
-	cev := &countingEvaluator{inner: ev}
+	fan := a.Fan
+	if fan <= 0 {
+		fan = 1
+	}
+	cev := newCounter(ev)
 	nz := vclock.NewNoise(a.Seed^0x5AEA, 0)
 
 	cur := dist.Block(total, a.N)
-	curT := cev.Evaluate(cur)
+	curT := cev.eval(cur)
 	best, bestT := cur.Clone(), curT
 	temp := t0 * curT
+	ds := make([]dist.Distribution, fan)
+	for i := range ds {
+		ds[i] = make(dist.Distribution, a.N)
+	}
+	ts := make([]float64, fan)
 	for s := 0; s < steps; s++ {
-		cand := cur.Clone()
-		mutate(nz, cand, total)
-		candT := cev.Evaluate(cand)
+		for i := 0; i < fan; i++ {
+			copy(ds[i], cur)
+			mutate(nz, ds[i], total)
+		}
+		cev.evalBatch(ts[:fan], ds[:fan])
+		ci := 0
+		for i := 1; i < fan; i++ {
+			if ts[i] < ts[ci] {
+				ci = i
+			}
+		}
+		candT := ts[ci]
 		if candT < curT || nz.Float64() < math.Exp((curT-candT)/temp) {
-			cur, curT = cand, candT
+			copy(cur, ds[ci])
+			curT = candT
 			if curT < bestT {
-				best, bestT = cur.Clone(), curT
+				bestT = curT
+				copy(best, cur)
 			}
 		}
 		temp *= cool
 	}
-	return Result{Best: best, Time: bestT, Evaluations: cev.n, Algorithm: a.Name()}
+	return Result{Best: best, Time: bestT, Evaluations: cev.count(), Algorithm: a.Name()}
 }

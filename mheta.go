@@ -148,13 +148,29 @@ const (
 )
 
 // SearchWith runs the named algorithm ("gbs", "genetic", "annealing",
-// "random") with default parameters.
+// "random") with default parameters on a single worker.
 func SearchWith(alg string, spec ClusterSpec, app *App, model *Model, seed uint64) (SearchResult, error) {
-	ev := search.ModelEvaluator{Model: model}
+	return SearchWithWorkers(alg, spec, app, model, seed, 1)
+}
+
+// SearchWithWorkers is SearchWith evaluating candidates on a pool of
+// workers, each owning its own clone of the model (workers <= 0 selects
+// GOMAXPROCS). Results — Best, Time and Evaluations — are bit-identical
+// for any worker count; parallelism only changes wall-clock time.
+func SearchWithWorkers(alg string, spec ClusterSpec, app *App, model *Model, seed uint64, workers int) (SearchResult, error) {
+	var ev search.Evaluator = search.ModelEvaluator{Model: model}
+	if workers != 1 {
+		ev = search.NewPool(ev, workers)
+	}
 	total := app.Prog.GlobalElems()
 	switch alg {
 	case AlgGBS:
-		return SearchGBS(spec, app, model), nil
+		var bpe int64
+		for _, v := range app.Prog.DistributedVars() {
+			bpe += v.ElemBytes
+		}
+		s := &search.GBS{Spec: spec, BytesPerElem: bpe}
+		return s.Search(ev, total), nil
 	case AlgGenetic:
 		s := &search.Genetic{N: spec.N(), Seed: seed}
 		return s.Search(ev, total), nil
