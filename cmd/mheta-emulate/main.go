@@ -19,6 +19,7 @@ import (
 	"mheta"
 	"mheta/internal/dist"
 	"mheta/internal/exec"
+	"mheta/internal/experiments"
 	"mheta/internal/mpi"
 	"mheta/internal/stats"
 	"mheta/internal/trace"
@@ -27,7 +28,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mheta-emulate: ")
-	appName := flag.String("app", "jacobi", "application: jacobi, jacobi-pf, cg, lanczos, rna")
+	appName := flag.String("app", "jacobi", "application: jacobi, jacobi-pf, cg, lanczos, rna, multigrid")
+	scaleFlag := flag.String("scale", "paper", "dataset scale: paper, quick or test")
 	configName := flag.String("config", "HY1", "cluster configuration: DC, IO, HY1, HY2")
 	distStr := flag.String("dist", "", "explicit distribution (comma separated); default Blk")
 	spectrum := flag.Int("spectrum", 0, "sweep the Figure 8 spectrum with this many steps per leg instead of a single run")
@@ -35,7 +37,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "noise seed")
 	flag.Parse()
 
-	app, err := buildApp(*appName)
+	app, err := buildApp(*appName, *scaleFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,21 +103,14 @@ func report(spec mheta.ClusterSpec, app *mheta.App, model *mheta.Model, d mheta.
 		stats.PercentDiff(pred.Total, actual)*100)
 }
 
-func buildApp(name string) (*mheta.App, error) {
-	switch name {
-	case "jacobi":
-		return mheta.Jacobi(mheta.JacobiDefaults()), nil
-	case "jacobi-pf":
-		cfg := mheta.JacobiDefaults()
-		cfg.Prefetch = true
-		return mheta.Jacobi(cfg), nil
-	case "cg":
-		return mheta.CG(mheta.CGDefaults()), nil
-	case "lanczos":
-		return mheta.Lanczos(mheta.LanczosDefaults()), nil
-	case "rna":
-		return mheta.RNA(mheta.RNADefaults()), nil
-	default:
-		return nil, fmt.Errorf("unknown app %q", name)
+func buildApp(name, scale string) (*mheta.App, error) {
+	sc, err := experiments.ParseScale(scale)
+	if err != nil {
+		return nil, err
 	}
+	b, err := experiments.BuilderByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(sc), nil
 }

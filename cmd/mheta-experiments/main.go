@@ -30,16 +30,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker goroutines for sweep fan-out and search evaluation (0 = all cores); results are identical for any worker count")
 	flag.Parse()
 
-	var scale experiments.Scale
-	switch *scaleFlag {
-	case "paper":
-		scale = experiments.ScalePaper
-	case "quick":
-		scale = experiments.ScaleQuick
-	case "test":
-		scale = experiments.ScaleTest
-	default:
-		log.Fatalf("unknown scale %q", *scaleFlag)
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
 	r := experiments.DefaultRunner(scale)
 	r.Seed = *seed

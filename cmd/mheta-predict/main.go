@@ -21,6 +21,7 @@ import (
 	"mheta"
 	"mheta/internal/core"
 	"mheta/internal/dist"
+	"mheta/internal/experiments"
 	"mheta/internal/paramfile"
 )
 
@@ -29,7 +30,8 @@ func main() {
 	log.SetPrefix("mheta-predict: ")
 	paramsPath := flag.String("params", "", "parameter file (JSON, see internal/paramfile)")
 	distStr := flag.String("dist", "", "comma-separated GEN_BLOCK distribution (elements per node)")
-	collect := flag.String("collect", "", "collect parameters for app:config (apps: jacobi, jacobi-pf, cg, lanczos, rna; configs: DC, IO, HY1, HY2) and write them to -params")
+	collect := flag.String("collect", "", "collect parameters for app:config (apps: jacobi, jacobi-pf, cg, lanczos, rna, multigrid; configs: DC, IO, HY1, HY2) and write them to -params")
+	scaleFlag := flag.String("scale", "paper", "dataset scale for -collect: paper, quick or test")
 	seed := flag.Uint64("seed", 42, "noise seed for -collect")
 	detailed := flag.Bool("detailed", false, "print per-node and per-section breakdown")
 	flag.Parse()
@@ -43,7 +45,7 @@ func main() {
 		if len(parts) != 2 {
 			log.Fatalf("-collect wants app:config, got %q", *collect)
 		}
-		app, err := buildApp(parts[0])
+		app, err := buildApp(parts[0], *scaleFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,21 +121,14 @@ func totalOf(p core.Params) int {
 	return t
 }
 
-func buildApp(name string) (*mheta.App, error) {
-	switch name {
-	case "jacobi":
-		return mheta.Jacobi(mheta.JacobiDefaults()), nil
-	case "jacobi-pf":
-		cfg := mheta.JacobiDefaults()
-		cfg.Prefetch = true
-		return mheta.Jacobi(cfg), nil
-	case "cg":
-		return mheta.CG(mheta.CGDefaults()), nil
-	case "lanczos":
-		return mheta.Lanczos(mheta.LanczosDefaults()), nil
-	case "rna":
-		return mheta.RNA(mheta.RNADefaults()), nil
-	default:
-		return nil, fmt.Errorf("unknown app %q (want jacobi, jacobi-pf, cg, lanczos or rna)", name)
+func buildApp(name, scale string) (*mheta.App, error) {
+	sc, err := experiments.ParseScale(scale)
+	if err != nil {
+		return nil, err
 	}
+	b, err := experiments.BuilderByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(sc), nil
 }

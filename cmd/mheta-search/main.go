@@ -15,13 +15,15 @@ import (
 	"log"
 
 	"mheta"
+	"mheta/internal/experiments"
 	"mheta/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mheta-search: ")
-	appName := flag.String("app", "jacobi", "application: jacobi, jacobi-pf, cg, lanczos, rna")
+	appName := flag.String("app", "jacobi", "application: jacobi, jacobi-pf, cg, lanczos, rna, multigrid")
+	scaleFlag := flag.String("scale", "paper", "dataset scale: paper, quick or test")
 	configName := flag.String("config", "HY1", "cluster configuration: DC, IO, HY1, HY2")
 	alg := flag.String("alg", "gbs", "algorithm: gbs, genetic, annealing, random, all")
 	verify := flag.Bool("verify", false, "run the found distribution on the emulator and report the actual time")
@@ -29,7 +31,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "evaluation workers per search (0 = all cores); results are identical for any worker count")
 	flag.Parse()
 
-	app, err := buildApp(*appName)
+	app, err := buildApp(*appName, *scaleFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,21 +70,14 @@ func main() {
 	}
 }
 
-func buildApp(name string) (*mheta.App, error) {
-	switch name {
-	case "jacobi":
-		return mheta.Jacobi(mheta.JacobiDefaults()), nil
-	case "jacobi-pf":
-		cfg := mheta.JacobiDefaults()
-		cfg.Prefetch = true
-		return mheta.Jacobi(cfg), nil
-	case "cg":
-		return mheta.CG(mheta.CGDefaults()), nil
-	case "lanczos":
-		return mheta.Lanczos(mheta.LanczosDefaults()), nil
-	case "rna":
-		return mheta.RNA(mheta.RNADefaults()), nil
-	default:
-		return nil, fmt.Errorf("unknown app %q", name)
+func buildApp(name, scale string) (*mheta.App, error) {
+	sc, err := experiments.ParseScale(scale)
+	if err != nil {
+		return nil, err
 	}
+	b, err := experiments.BuilderByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(sc), nil
 }

@@ -1,0 +1,118 @@
+// Smoke tests for the four command-line binaries: each must build, print
+// usage on -h, and complete one tiny end-to-end invocation at -scale
+// test. These guard the flag surface and the wiring from flags to the
+// library — the numerical behaviour behind them is covered by the unit,
+// validation, and golden suites.
+package cmd_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binDir holds the binaries built once in TestMain.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mheta-smoke-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	// Building from the package directory, ./... covers exactly the four
+	// cmd/ mains.
+	out, err := exec.Command("go", "build", "-o", dir, "./...").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "go build ./cmd/...: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	binDir = dir
+	os.Exit(m.Run())
+}
+
+// run executes one of the built binaries and returns its combined output,
+// failing the test on a non-zero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, bin), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", bin, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// TestHelp asserts every binary exits cleanly on -h (the flag package
+// treats an explicit help request as success) and documents its flags.
+func TestHelp(t *testing.T) {
+	for bin, flag := range map[string]string{
+		"mheta-predict":     "-params",
+		"mheta-emulate":     "-app",
+		"mheta-search":      "-alg",
+		"mheta-experiments": "-which",
+	} {
+		out, err := exec.Command(filepath.Join(binDir, bin), "-h").CombinedOutput()
+		if err != nil {
+			t.Errorf("%s -h: %v", bin, err)
+		}
+		if !strings.Contains(string(out), flag) {
+			t.Errorf("%s -h output does not mention %s:\n%s", bin, flag, out)
+		}
+	}
+}
+
+// TestPredictCollect exercises the paper's two-step pipeline: -collect
+// writes a parameter file, a second invocation loads it and predicts.
+func TestPredictCollect(t *testing.T) {
+	params := filepath.Join(t.TempDir(), "params.json")
+	out := run(t, "mheta-predict", "-params", params, "-collect", "jacobi:DC", "-scale", "test")
+	if !strings.Contains(out, "collected parameters") {
+		t.Fatalf("collect output:\n%s", out)
+	}
+	out = run(t, "mheta-predict", "-params", params, "-detailed")
+	for _, want := range []string{"program:", "jacobi", "per iteration:", "node times"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predict output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEmulate runs one predicted-vs-actual row plus a 1-step spectrum
+// sweep.
+func TestEmulate(t *testing.T) {
+	out := run(t, "mheta-emulate", "-app", "jacobi", "-config", "DC", "-scale", "test")
+	if !strings.Contains(out, "actual(s)") || !strings.Contains(out, "given") {
+		t.Fatalf("emulate output:\n%s", out)
+	}
+	out = run(t, "mheta-emulate", "-app", "lanczos", "-config", "HY1", "-scale", "test", "-spectrum", "1")
+	if !strings.Contains(out, "I-C/Bal") {
+		t.Fatalf("spectrum output missing anchor label:\n%s", out)
+	}
+}
+
+// TestSearch runs the cheapest search on the tiny scale and verifies the
+// found distribution on the emulator.
+func TestSearch(t *testing.T) {
+	out := run(t, "mheta-search", "-app", "jacobi", "-config", "HY1", "-scale", "test", "-alg", "gbs", "-verify")
+	for _, want := range []string{"blk", "gbs", "verify"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("search output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExperiments covers the static table and one figure rendering.
+func TestExperiments(t *testing.T) {
+	out := run(t, "mheta-experiments", "-scale", "test", "-which", "table1")
+	if !strings.Contains(out, "DC") || !strings.Contains(out, "HY2") {
+		t.Fatalf("table1 output:\n%s", out)
+	}
+	out = run(t, "mheta-experiments", "-scale", "test", "-which", "fig8")
+	if !strings.Contains(out, "I-C/Bal") {
+		t.Fatalf("fig8 output:\n%s", out)
+	}
+}

@@ -1,0 +1,36 @@
+// Compile-run coverage for the examples: each must build and exit
+// cleanly, and each narrates its scenario on stdout. The examples are the
+// documented entry points to the library, so a signature change that
+// breaks one should fail tests, not a reader.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamples(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want string // a string the example's narration must contain
+	}{
+		{"quickstart", "predicted"},
+		{"heterogeneous-jacobi", "best distribution"},
+		{"distribution-search", "GBS"},
+		{"pipeline-rna", "pipeline tail"},
+		{"shared-disk", "shared"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./"+tc.name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", tc.name, err, out)
+			}
+			if !strings.Contains(strings.ToLower(string(out)), strings.ToLower(tc.want)) {
+				t.Errorf("example %s output does not mention %q:\n%s", tc.name, tc.want, out)
+			}
+		})
+	}
+}

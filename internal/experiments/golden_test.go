@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mheta/internal/cluster"
+)
+
+// update regenerates the committed goldens instead of diffing against
+// them:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// Regenerate only when a change intentionally alters figure data (a model
+// fix, new instrumentation, a scale change) and say why in the commit.
+var update = flag.Bool("update", false, "rewrite golden figure files")
+
+// goldenTol is the relative tolerance for numeric comparison. Predictions
+// and emulated times are deterministic, so this allows only for
+// floating-point variation across platforms and compiler versions (FMA
+// contraction, libm differences) — anything past 1e-6 is a behaviour
+// change, not noise.
+const goldenTol = 1e-6
+
+// TestGoldenFigures materialises the paper's evaluation figures at
+// ScaleTest with the default experiment seed and diffs the full
+// structured results — every sweep, every spectrum point, every
+// predicted/actual pair — against the committed goldens under
+// testdata/golden/. Running sweeps with several workers also re-asserts
+// the determinism contract: results must be identical for any worker
+// count.
+func TestGoldenFigures(t *testing.T) {
+	r := DefaultRunner(ScaleTest)
+	r.Workers = 4
+
+	t.Run("figure8", func(t *testing.T) {
+		app := JacobiBuilder(false).Build(ScaleTest)
+		out := map[string]interface{}{}
+		for _, spec := range cluster.NamedAll() {
+			out[spec.Name] = Figure8(spec, app.Prog.GlobalElems(), app.Prog.MustVar("B").ElemBytes, 2)
+		}
+		goldenCompare(t, "figure8.json", out)
+	})
+	t.Run("figure9all", func(t *testing.T) {
+		p, err := r.Figure9All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, "figure9all.json", p)
+	})
+	t.Run("figure9prefetch", func(t *testing.T) {
+		p, err := r.Figure9Prefetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, "figure9prefetch.json", p)
+	})
+	t.Run("figure10", func(t *testing.T) {
+		figs, err := r.Figure10()
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, "figure10.json", figs)
+	})
+	t.Run("figure11", func(t *testing.T) {
+		figs, err := r.Figure11()
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, "figure11.json", figs)
+	})
+}
+
+func goldenCompare(t *testing.T, name string, got interface{}) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	raw, err := json.MarshalIndent(got, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(raw))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	var a, b interface{}
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &b); err != nil {
+		t.Fatalf("corrupt golden %s: %v", path, err)
+	}
+	if err := jsonDiff(b, a, goldenTol, "$"); err != nil {
+		t.Errorf("%s differs from golden (regenerate with -update if intentional): %v", name, err)
+	}
+}
+
+// jsonDiff structurally compares two decoded JSON trees, allowing numbers
+// to differ by the relative tolerance.
+func jsonDiff(want, got interface{}, tol float64, path string) error {
+	switch w := want.(type) {
+	case map[string]interface{}:
+		g, ok := got.(map[string]interface{})
+		if !ok {
+			return fmt.Errorf("%s: want object, got %T", path, got)
+		}
+		if len(w) != len(g) {
+			return fmt.Errorf("%s: want %d keys, got %d", path, len(w), len(g))
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Errorf("%s: missing key %q", path, k)
+			}
+			if err := jsonDiff(wv, gv, tol, path+"."+k); err != nil {
+				return err
+			}
+		}
+	case []interface{}:
+		g, ok := got.([]interface{})
+		if !ok {
+			return fmt.Errorf("%s: want array, got %T", path, got)
+		}
+		if len(w) != len(g) {
+			return fmt.Errorf("%s: want %d elements, got %d", path, len(w), len(g))
+		}
+		for i := range w {
+			if err := jsonDiff(w[i], g[i], tol, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			return fmt.Errorf("%s: want number, got %T", path, got)
+		}
+		diff := w - g
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := w
+		if scale < 0 {
+			scale = -scale
+		}
+		if gg := g; gg < 0 {
+			gg = -gg
+			if gg > scale {
+				scale = gg
+			}
+		} else if g > scale {
+			scale = g
+		}
+		if diff > tol*scale && diff > 1e-300 {
+			return fmt.Errorf("%s: %v != %v (rel %g > %g)", path, w, g, diff/scale, tol)
+		}
+	default:
+		if want != got {
+			return fmt.Errorf("%s: %v != %v", path, want, got)
+		}
+	}
+	return nil
+}
+
+// TestGoldenWorkerIndependence spot-checks that golden data does not
+// depend on the fan-out width: one Figure 10 run with a single worker
+// must byte-identically match a four-worker run.
+func TestGoldenWorkerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r1 := DefaultRunner(ScaleTest)
+	r1.Workers = 1
+	r4 := DefaultRunner(ScaleTest)
+	r4.Workers = 4
+	a, err := r1.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r4.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("Figure 10 results differ between 1 and 4 workers")
+	}
+}

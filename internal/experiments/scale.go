@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"mheta/internal/apps"
 	"mheta/internal/exec"
 )
@@ -42,6 +44,20 @@ func (s Scale) String() string {
 		return "test"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseScale converts a command-line scale name into a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "paper":
+		return ScalePaper, nil
+	case "quick":
+		return ScaleQuick, nil
+	case "test":
+		return ScaleTest, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want paper, quick or test)", s)
 	}
 }
 
@@ -137,4 +153,26 @@ func PaperApps() []AppBuilder {
 // extension.
 func AllApps() []AppBuilder {
 	return append(PaperApps(), MultigridBuilder())
+}
+
+// BuilderByName resolves a command-line application name (jacobi,
+// jacobi-pf, cg, lanczos, rna, multigrid) to its builder, so the cmd
+// binaries share one app registry and one -scale axis.
+func BuilderByName(name string) (AppBuilder, error) {
+	switch name {
+	case "jacobi":
+		return JacobiBuilder(false), nil
+	case "jacobi-pf":
+		return JacobiBuilder(true), nil
+	case "cg":
+		return CGBuilder(), nil
+	case "lanczos":
+		return LanczosBuilder(), nil
+	case "rna":
+		return RNABuilder(), nil
+	case "multigrid":
+		return MultigridBuilder(), nil
+	default:
+		return AppBuilder{}, fmt.Errorf("unknown app %q (want jacobi, jacobi-pf, cg, lanczos, rna or multigrid)", name)
+	}
 }

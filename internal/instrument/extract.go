@@ -2,6 +2,7 @@ package instrument
 
 import (
 	"fmt"
+	"sort"
 
 	"mheta/internal/cluster"
 	"mheta/internal/core"
@@ -10,6 +11,7 @@ import (
 	"mheta/internal/mpi"
 	"mheta/internal/mpijack"
 	"mheta/internal/program"
+	"mheta/internal/vclock"
 )
 
 // Collect produces a complete MHETA parameter set for app on the given
@@ -135,12 +137,14 @@ func Extract(spec cluster.Spec, prog *program.Program, baseDist dist.Distributio
 				if rec == nil || baseDist[rank] == 0 {
 					continue
 				}
-				// Stage span summed over tiles.
+				// Stage span summed over tiles, in tile order: float
+				// accumulation is not associative, so iterating the map
+				// directly would make the extracted rates depend on Go's
+				// randomized map order and differ in the last ULPs from run
+				// to run.
 				var span float64
-				for key, d := range rec.StageSpans {
-					if key[0] == si && key[2] == sti {
-						span += d.Seconds()
-					}
+				for _, key := range spanKeys(rec.StageSpans, si, sti) {
+					span += rec.StageSpans[key].Seconds()
 				}
 				// Stage I/O summed over tiles and variables.
 				var ioTime float64
@@ -149,10 +153,10 @@ func Extract(spec cluster.Spec, prog *program.Program, baseDist dist.Distributio
 				var readTime, writeTime float64
 				var ovTime float64
 				var ovElems int64
-				for key, io := range rec.IO {
-					if key.Section != si || key.Stage != sti {
-						continue
-					}
+				// Same ordering discipline as the spans: the I/O times are
+				// floats, so sum them in sorted key order.
+				for _, key := range ioKeys(rec.IO, si, sti) {
+					io := rec.IO[key]
 					ioTime += io.ReadTime.Seconds() + io.WriteTime.Seconds()
 					readCalls += io.ReadCalls
 					writeCalls += io.WriteCalls
@@ -239,4 +243,35 @@ func fillGaps(spec cluster.Spec, baseDist dist.Distribution, vals []float64, cpu
 			vals[i] = vals[donor]
 		}
 	}
+}
+
+// spanKeys returns the StageSpans keys for (section, stage) in ascending
+// tile order, so float summation over them is reproducible.
+func spanKeys(spans map[[3]int]vclock.Duration, si, sti int) [][3]int {
+	keys := make([][3]int, 0, len(spans))
+	for key := range spans {
+		if key[0] == si && key[2] == sti {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a][1] < keys[b][1] })
+	return keys
+}
+
+// ioKeys returns the IO record keys for (section, stage) sorted by
+// (tile, variable), for the same reproducible-summation reason.
+func ioKeys(io map[mpijack.IOKey]*mpijack.IORecord, si, sti int) []mpijack.IOKey {
+	keys := make([]mpijack.IOKey, 0, len(io))
+	for key := range io {
+		if key.Section == si && key.Stage == sti {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Tile != keys[b].Tile {
+			return keys[a].Tile < keys[b].Tile
+		}
+		return keys[a].Var < keys[b].Var
+	})
+	return keys
 }

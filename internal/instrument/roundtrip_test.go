@@ -1,0 +1,73 @@
+package instrument_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mheta/internal/cluster"
+	"mheta/internal/core"
+	"mheta/internal/dist"
+	"mheta/internal/experiments"
+	"mheta/internal/instrument"
+	"mheta/internal/paramfile"
+)
+
+// TestParamfileRoundTrip pins the collect → save → load → predict
+// pipeline: a parameter set that went through the JSON file must be
+// exactly the in-memory one (encoding/json emits the shortest
+// representation that round-trips a float64, so nothing may drift), and
+// predictions from the loaded file must be bit-identical to predictions
+// from the live Collect. This is the contract that lets mheta-predict
+// work from files written by an earlier -collect run.
+func TestParamfileRoundTrip(t *testing.T) {
+	for _, name := range []string{"jacobi-pf", "cg"} {
+		t.Run(name, func(t *testing.T) {
+			b, err := experiments.BuilderByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app := b.Build(experiments.ScaleTest)
+			spec, err := cluster.Named("HY1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := app.Prog.GlobalElems()
+			base := dist.Block(total, spec.N())
+			params, err := instrument.Collect(spec, app, base, 42, 0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			path := filepath.Join(t.TempDir(), "params.json")
+			if err := paramfile.Save(path, &params); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := paramfile.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(params, loaded) {
+				t.Fatalf("params changed across the file round trip:\nlive:   %+v\nloaded: %+v", params, loaded)
+			}
+
+			live := core.MustModel(params)
+			fromFile := core.MustModel(loaded)
+			for _, d := range []dist.Distribution{
+				base,
+				dist.Balanced(total, spec),
+			} {
+				a := live.Predict(d)
+				b := fromFile.Predict(d)
+				if a.Total != b.Total || a.PerIteration != b.PerIteration {
+					t.Fatalf("prediction differs after round trip for %v: %v vs %v", d, a.Total, b.Total)
+				}
+				for i := range a.NodeTimes {
+					if a.NodeTimes[i] != b.NodeTimes[i] {
+						t.Fatalf("node %d time differs after round trip: %v vs %v", i, a.NodeTimes[i], b.NodeTimes[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package validate
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// CorpusSeeds is the committed corpus: the budgets in budget.go were
+// calibrated against exactly these seeds, so the corpus test is a strict
+// regression gate, not a statistical one. Growing the corpus is welcome;
+// recalibrate the budgets (and their comments) when you do.
+func CorpusSeeds() []uint64 {
+	seeds := make([]uint64, 0, 64)
+	for s := uint64(1); s <= 64; s++ {
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// TestCorpus runs the full differential corpus: every committed seed's
+// scenario through predictor and emulator, per-point budgets and
+// structural invariants enforced inside RunScenario/CheckBudgets, then
+// per-bucket mean budgets and the minimum corpus size on the aggregate.
+func TestCorpus(t *testing.T) {
+	type key struct{ app, class string }
+	type bucket struct {
+		sum float64
+		n   int
+	}
+	var mu sync.Mutex
+	buckets := map[key]*bucket{}
+	points := 0
+
+	t.Run("scenarios", func(t *testing.T) {
+		for _, seed := range CorpusSeeds() {
+			seed := seed
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				sc := GenScenario(seed)
+				res, err := RunScenario(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, err := range CheckBudgets(res) {
+					t.Error(err)
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				for _, pt := range res.Points {
+					points++
+					k := key{sc.AppName, pt.Case.Class}
+					b := buckets[k]
+					if b == nil {
+						b = &bucket{}
+						buckets[k] = b
+					}
+					b.sum += pt.Diff
+					b.n++
+				}
+			})
+		}
+	})
+
+	if points < 200 {
+		t.Fatalf("corpus produced %d differential points, want >= 200", points)
+	}
+	for k, b := range buckets {
+		mean := b.sum / float64(b.n)
+		budget := BudgetFor(k.app, k.class)
+		t.Logf("%s/%s: n=%d mean=%.2f%% (budget %.0f%%)", k.app, k.class, b.n, mean*100, budget.Mean*100)
+		if mean > budget.Mean {
+			t.Errorf("%s/%s: mean relative error %.2f%% exceeds the %.0f%% budget over %d points",
+				k.app, k.class, mean*100, budget.Mean*100, b.n)
+		}
+	}
+}
+
+// TestScenarioDeterminism pins the reproducibility contract: the same
+// seed must regenerate the identical scenario — architecture, memory
+// fits, and every distribution case — and rerunning the full differential
+// must reproduce the identical predicted and actual times, bit for bit.
+// This is what makes "reproduce from the seed alone" in failure messages
+// true.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 31, 42} {
+		a, b := GenScenario(seed), GenScenario(seed)
+		if a.AppName != b.AppName || a.Kind != b.Kind {
+			t.Fatalf("seed %d: app/kind differ: %s/%s vs %s/%s", seed, a.AppName, a.Kind, b.AppName, b.Kind)
+		}
+		if !reflect.DeepEqual(a.Spec, b.Spec) {
+			t.Fatalf("seed %d: specs differ", seed)
+		}
+		if !reflect.DeepEqual(a.Cases, b.Cases) {
+			t.Fatalf("seed %d: distribution cases differ", seed)
+		}
+
+		ra, err := RunScenario(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := RunScenario(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra.Params, rb.Params) {
+			t.Fatalf("seed %d: instrumentation is not deterministic", seed)
+		}
+		for i := range ra.Points {
+			pa, pb := ra.Points[i], rb.Points[i]
+			if pa.Predicted != pb.Predicted {
+				t.Fatalf("seed %d case %s: predictions differ: %v vs %v", seed, pa.Case.Name, pa.Predicted, pb.Predicted)
+			}
+			if pa.Actual != pb.Actual {
+				t.Fatalf("seed %d case %s: emulator runs differ: %v vs %v", seed, pa.Case.Name, pa.Actual, pb.Actual)
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package validate
+
+import (
+	"testing"
+
+	"mheta/internal/core"
+	"mheta/internal/dist"
+	"mheta/internal/memsim"
+	"mheta/internal/program"
+)
+
+// The fuzz targets decode arbitrary bytes into valid inputs for the
+// predictor's pure layers — distributions (dist), residency planning
+// (memsim), and the model equations themselves (core) — and assert the
+// structural invariants the rest of the repo relies on. They never touch
+// the emulator, so iterations are microseconds and `go test -fuzz` gets
+// real coverage depth. Seed corpora live under testdata/fuzz/<FuzzName>/.
+
+// byteSrc consumes fuzz data as a deterministic value stream; exhausted
+// input yields zeros, so every prefix decodes to something valid.
+type byteSrc struct {
+	data []byte
+	i    int
+}
+
+func (b *byteSrc) u8() int {
+	if b.i >= len(b.data) {
+		return 0
+	}
+	v := b.data[b.i]
+	b.i++
+	return int(v)
+}
+
+func (b *byteSrc) u16() int { return b.u8()<<8 | b.u8() }
+
+// f01 returns a value in [0, 1].
+func (b *byteSrc) f01() float64 { return float64(b.u8()) / 255 }
+
+// FuzzDistribution checks the GEN_BLOCK constructors' contract: for any
+// weight vector, Proportional must return exactly `total` elements split
+// into non-negative blocks (largest-remainder rounding must neither lose
+// nor invent elements), and Lerp between two valid distributions must
+// stay valid for any t in [0, 1].
+func FuzzDistribution(f *testing.F) {
+	f.Add([]byte{4, 1, 0, 100, 200, 10, 30, 128})
+	f.Add([]byte{15, 31, 255, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 90})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &byteSrc{data: data}
+		n := 2 + b.u8()%15
+		total := 1 + b.u16()%8192
+
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = b.f01()
+		}
+		w[b.u8()%n] += 0.5 // at least one positive weight
+		d := dist.Proportional(total, w)
+		if err := d.Validate(total); err != nil {
+			t.Fatalf("Proportional(%d, %v): %v", total, w, err)
+		}
+		if len(d) != n {
+			t.Fatalf("Proportional returned %d blocks, want %d", len(d), n)
+		}
+		for p, e := range d {
+			if w[p] == 0 && e != 0 {
+				t.Fatalf("zero-weight node %d got %d elements in %v", p, e, d)
+			}
+		}
+
+		w2 := make([]float64, n)
+		for i := range w2 {
+			w2[i] = b.f01()
+		}
+		w2[b.u8()%n] += 0.5
+		d2 := dist.Proportional(total, w2)
+		tt := b.f01()
+		l := dist.Lerp(d, d2, tt)
+		if err := l.Validate(total); err != nil {
+			t.Fatalf("Lerp(%v, %v, %v): %v", d, d2, tt, err)
+		}
+		if blk := dist.Block(total, n); blk.Validate(total) != nil {
+			t.Fatalf("Block(%d, %d) invalid: %v", total, n, blk)
+		}
+	})
+}
+
+// FuzzMemsim checks the §3.1 out-of-core arithmetic for arbitrary
+// capacities and variable sizes: NR = ceil(OCLA/ICLA) exactly (the passes
+// cover the array, the last pass is not superfluous), ICLAs make at least
+// one element of progress, and PlanGreedy never pins more bytes in core
+// than the node has.
+func FuzzMemsim(f *testing.F) {
+	f.Add([]byte{0, 100, 8, 1, 0, 2, 0, 0, 1, 255, 255})
+	f.Add([]byte{255, 255, 1, 0, 16, 0, 32, 100, 100, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &byteSrc{data: data}
+		capacity := int64(b.u16())
+		es := int64(1 + b.u8()%256)
+		ocla := int64(b.u16()) * 8
+
+		l := memsim.PlanVar(memsim.Budget{Capacity: capacity}, ocla, es)
+		checkLayout := func(name string, l memsim.Layout, sz int64) {
+			if sz == 0 {
+				if !l.InCore || l.Passes != 0 {
+					t.Fatalf("%s: empty variable not trivially in core: %+v", name, l)
+				}
+				return
+			}
+			if l.ICLABytes <= 0 {
+				t.Fatalf("%s: non-positive ICLA: %+v", name, l)
+			}
+			if l.Passes != int(memsim.CeilDiv(sz, l.ICLABytes)) {
+				t.Fatalf("%s: Passes %d != ceil(%d/%d)", name, l.Passes, sz, l.ICLABytes)
+			}
+			if int64(l.Passes)*l.ICLABytes < sz {
+				t.Fatalf("%s: passes do not cover the array: %+v", name, l)
+			}
+			if int64(l.Passes-1)*l.ICLABytes >= sz {
+				t.Fatalf("%s: last pass is superfluous: %+v", name, l)
+			}
+			// InCore implies a whole-array ICLA; the converse does not hold —
+			// when the one-element minimum ICLA reaches the whole array on a
+			// too-small budget, the variable still streams through memory it
+			// does not have (PlanVar's boundary case).
+			if l.InCore && l.ICLABytes != l.OCLABytes {
+				t.Fatalf("%s: in-core layout with partial ICLA: %+v", name, l)
+			}
+		}
+		checkLayout("PlanVar", l, ocla)
+
+		nv := 1 + b.u8()%3
+		varBytes := map[string]int64{}
+		elemSize := map[string]int64{}
+		names := []string{"a", "b", "c"}
+		for i := 0; i < nv; i++ {
+			varBytes[names[i]] = int64(b.u16()) * int64(1+b.u8()%8)
+			elemSize[names[i]] = int64(1 + b.u8()%64)
+		}
+		greedy := memsim.PlanGreedy(memsim.Budget{Capacity: capacity}, varBytes, elemSize)
+		var pinned int64
+		for name, l := range greedy {
+			checkLayout("PlanGreedy/"+name, l, varBytes[name])
+			// Only count variables the greedy packer pinned whole out of the
+			// budget; an out-of-core variable whose ICLA grew to full size
+			// (one-element minimum progress) is not budget-resident.
+			if l.InCore && l.OCLABytes <= capacity {
+				pinned += l.OCLABytes
+			}
+		}
+
+		localElems := b.u16() % 2048
+		icla := int64(b.u16())
+		tiles := 1 + b.u8()%16
+		elemBytes := int64(1 + b.u16()%512)
+		s := memsim.StreamPlan(localElems, elemBytes, icla, tiles)
+		if s.StripBytes <= 0 || s.ChunkElems < 1 {
+			t.Fatalf("StreamPlan degenerate: %+v", s)
+		}
+		if localElems > 0 {
+			if s.ChunkElems > localElems {
+				t.Fatalf("StreamPlan chunk exceeds local elems: %+v (local %d)", s, localElems)
+			}
+			if s.ChunksPerTile != int(memsim.CeilDiv(int64(localElems), int64(s.ChunkElems))) {
+				t.Fatalf("StreamPlan ChunksPerTile %d != ceil(%d/%d)", s.ChunksPerTile, localElems, s.ChunkElems)
+			}
+		} else if s.ChunksPerTile != 0 {
+			t.Fatalf("StreamPlan invented chunks for empty local array: %+v", s)
+		}
+	})
+}
+
+// FuzzPredict decodes bytes into a synthetic-but-valid core.Params (every
+// communication pattern, optional prefetching, shared disk, nonuniform
+// iteration weights) plus a weighted distribution, and runs the full
+// invariant battery: determinism across models and clones, finiteness,
+// Equation 3/5 non-negativity, work monotonicity, and the Equation 2 →
+// Equation 1 reduction.
+func FuzzPredict(f *testing.F) {
+	f.Add([]byte{3, 2, 4, 1, 16, 1, 0, 200, 100, 50, 25, 12, 6, 3, 1, 80, 90, 100, 110})
+	f.Add([]byte{6, 3, 7, 2, 64, 0, 255, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &byteSrc{data: data}
+		n := 2 + b.u8()%7
+		iters := 1 + b.u8()%4
+		total := n * (16 + b.u16()%512)
+		elemBytes := int64(8 * (1 + b.u8()%4))
+
+		p := core.Params{
+			Program:    "fuzz",
+			Nodes:      n,
+			Iterations: iters,
+			BaseDist:   dist.Block(total, n),
+			DistVars:   []core.DistVar{{Name: "m", ElemBytes: elemBytes}},
+			SharedDisk: b.u8()%4 == 0,
+			Net: core.NetParams{
+				SendFixed: b.f01() * 1e-5, SendPerByte: b.f01() * 1e-9,
+				RecvFixed: b.f01() * 1e-5, RecvPerByte: b.f01() * 1e-9,
+				WireFixed: b.f01() * 1e-4, WirePerByte: b.f01() * 1e-8,
+			},
+		}
+		for i := 0; i < n; i++ {
+			p.MemoryBytes = append(p.MemoryBytes, elemBytes*int64(4+b.u16()%4096))
+			p.Disk = append(p.Disk, core.DiskCal{
+				ReadSeek:  b.f01() * 1e-3,
+				WriteSeek: b.f01() * 1e-3,
+				IssueCost: b.f01() * 1e-4,
+			})
+		}
+		if b.u8()%4 == 0 {
+			for i := 0; i < iters; i++ {
+				p.IterWeights = append(p.IterWeights, 0.5+b.f01())
+			}
+		}
+
+		nsec := 1 + b.u8()%2
+		for si := 0; si < nsec; si++ {
+			comm := program.CommPattern(b.u8() % 4)
+			tiles := 1 + b.u8()%8
+			if comm == program.CommPipeline && tiles < 2 {
+				tiles = 2
+			}
+			sec := core.SectionParams{
+				Name:        "s",
+				Tiles:       tiles,
+				Comm:        comm,
+				MsgBytes:    int64(b.u16()),
+				ReduceBytes: int64(b.u8()),
+			}
+			st := core.StageParams{
+				Name:      "st",
+				StreamVar: "m",
+				ElemBytes: elemBytes,
+				ReadOnly:  b.u8()%2 == 0,
+				Prefetch:  b.u8()%2 == 0,
+			}
+			for i := 0; i < n; i++ {
+				st.ComputePerElem = append(st.ComputePerElem, 1e-7*(1+100*b.f01()))
+				st.ReadPerByte = append(st.ReadPerByte, 1e-9*(1+10*b.f01()))
+				st.WritePerByte = append(st.WritePerByte, 1e-9*(1+10*b.f01()))
+				st.OverlapPerElem = append(st.OverlapPerElem, 1e-8*b.f01())
+			}
+			sec.Stages = append(sec.Stages, st)
+			p.Sections = append(p.Sections, sec)
+		}
+
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = b.f01()
+		}
+		w[b.u8()%n] += 0.5
+		d := dist.Proportional(total, w)
+
+		model, err := core.NewModel(p)
+		if err != nil {
+			t.Fatalf("synthetic params rejected: %v", err)
+		}
+		if err := CheckPredictionInvariants(model, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckPrefetchReduction(p, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,277 @@
+// Package validate is the differential validation harness: the regression
+// net that cross-checks the predicting side of the repo (internal/core,
+// fed by internal/instrument) against the "actual execution" side
+// (internal/exec on the emulated cluster) the way the paper's evaluation
+// does (§5, Figures 8–11).
+//
+// It generates randomized-but-valid scenarios — cluster specs sampled
+// around the DC/IO/HY1/HY2 envelope of Table 1, all five applications
+// (plus the prefetching Jacobi variant), and GEN_BLOCK distributions
+// drawn from the Figure 8 spectrum plus adversarial skews — runs the
+// predictor and the emulator on each, and enforces:
+//
+//   - a committed per-application, per-distribution-class relative-error
+//     budget (budget.go), using the paper's §5.2.1 metric
+//     |pred−actual|/min(pred,actual);
+//   - structural invariants of the model itself (invariants.go):
+//     prediction determinism, Clone independence, monotonicity of the
+//     predicted time in assigned work, Equation 2 reducing to Equation 1
+//     when prefetching is disabled, and the non-negativity that Twait's
+//     max(0,·) (Equation 3) and Tσ (Equation 5) guarantee.
+//
+// The same scenario encoder backs three consumers: the deterministic
+// corpus tests (committed seeds, stable in CI), the native go-fuzz
+// targets over the predictor's pure layers (dist/memsim/core), and ad-hoc
+// reproduction of any divergence from its seed (see DESIGN.md §5.8).
+package validate
+
+import (
+	"fmt"
+
+	"mheta/internal/apps"
+	"mheta/internal/cluster"
+	"mheta/internal/dist"
+	"mheta/internal/exec"
+)
+
+// rng is a splitmix64 stream — the repo's standard deterministic
+// generator (dist.Hash, apps.hash64 use the same constants), so scenarios
+// are reproducible from their seed forever, independent of math/rand.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// f64 returns a value in [0, 1).
+func (r *rng) f64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// in returns a value in [lo, hi).
+func (r *rng) in(lo, hi float64) float64 { return lo + (hi-lo)*r.f64() }
+
+// Distribution classes; budgets are keyed by them.
+const (
+	// ClassSpectrum marks distributions on the Figure 8 walk (anchors and
+	// interpolations) — the operating points the paper evaluates.
+	ClassSpectrum = "spectrum"
+	// ClassAdversarial marks deliberately hostile skews (everything on one
+	// node, inverse-power balance, random holes) far outside the walk.
+	ClassAdversarial = "adversarial"
+)
+
+// DistCase is one candidate distribution within a scenario.
+type DistCase struct {
+	Name  string
+	Class string // ClassSpectrum or ClassAdversarial
+	Dist  dist.Distribution
+}
+
+// Scenario is one generated differential test case: an architecture, an
+// application, and a set of candidate distributions to cross-check.
+type Scenario struct {
+	Seed    uint64
+	Kind    string // architecture family: DC, IO, HY1, HY2 or RAND
+	AppName string
+	Spec    cluster.Spec
+	App     *exec.App
+	Cases   []DistCase
+}
+
+// AppNames lists the applications the generator samples: the paper's
+// four benchmarks, the prefetching Jacobi variant of Figure 9's top-right
+// panel, and the §6 Multigrid extension.
+func AppNames() []string {
+	return []string{"jacobi", "jacobi-pf", "cg", "lanczos", "rna", "multigrid"}
+}
+
+var kindNames = []string{"DC", "IO", "HY1", "HY2", "RAND"}
+
+// GenScenario deterministically derives a scenario from its seed. The
+// same seed always yields the same scenario, on every platform.
+func GenScenario(seed uint64) *Scenario {
+	r := newRng(seed)
+	sc := &Scenario{Seed: seed}
+
+	sc.AppName = AppNames()[r.intn(len(AppNames()))]
+	sc.App = buildApp(sc.AppName, r)
+
+	n := 3 + r.intn(6) // 3..8 nodes
+	sc.Kind = kindNames[r.intn(len(kindNames))]
+	sc.Spec = genSpec(sc.Kind, n, r)
+
+	// Scale node memories around the Blk block footprint so the
+	// in-core/out-of-core boundary — where the §5.4 heuristic divergences
+	// live — is actually exercised at these tiny dataset sizes.
+	total := sc.App.Prog.GlobalElems()
+	bpe := bytesPerElem(sc.App)
+	fitMemory(&sc.Spec, total, bpe, r)
+
+	if r.f64() < 0.15 {
+		sc.Spec = sc.Spec.WithSharedDisk()
+	}
+	sc.Spec.Name = fmt.Sprintf("%s-s%d", sc.Spec.Name, seed)
+
+	sc.Cases = genCases(sc.Spec, total, bpe, r)
+	return sc
+}
+
+// buildApp constructs the named application at fuzz scale: datasets of a
+// few hundred rows and a handful of iterations, sized so a corpus of
+// hundreds of scenarios stays inside the CI budget.
+func buildApp(name string, r *rng) *exec.App {
+	switch name {
+	case "jacobi", "jacobi-pf":
+		cfg := apps.DefaultJacobiConfig()
+		cfg.Rows = 256 + 128*r.intn(4) // 256..640
+		cfg.Cols = 32 + 16*r.intn(3)   // 32..64
+		cfg.Iterations = 2 + r.intn(3)
+		cfg.Prefetch = name == "jacobi-pf"
+		return apps.NewJacobi(cfg)
+	case "cg":
+		cfg := apps.DefaultCGConfig()
+		cfg.N = 512 + 128*r.intn(5)
+		cfg.Iterations = 2 + r.intn(2)
+		return apps.NewCG(cfg)
+	case "lanczos":
+		cfg := apps.DefaultLanczosConfig()
+		cfg.N = 192 + 64*r.intn(3)
+		cfg.Iterations = 2
+		return apps.NewLanczos(cfg)
+	case "rna":
+		cfg := apps.DefaultRNAConfig()
+		cfg.Rows = 256 + 128*r.intn(3)
+		cfg.Cols = 128 + 64*r.intn(2) // multiples of the 8 tiles
+		cfg.Iterations = 2
+		return apps.NewRNA(cfg)
+	case "multigrid":
+		cfg := apps.DefaultMGConfig()
+		cfg.Rows = 256 + 128*r.intn(3)
+		cfg.Cols = 48 + 16*r.intn(2)
+		cfg.Iterations = 2
+		return apps.NewMultigrid(cfg)
+	default:
+		panic(fmt.Sprintf("validate: unknown app %q", name))
+	}
+}
+
+// genSpec samples an architecture around the Table 1 envelope: one of the
+// named configurations jittered node by node, or a fully random
+// heterogeneous cluster in the same parameter ranges (CPU power 0.3–2.6,
+// disk scale 0.5–4).
+func genSpec(kind string, n int, r *rng) cluster.Spec {
+	var spec cluster.Spec
+	switch kind {
+	case "DC":
+		spec = cluster.DC(n)
+	case "IO":
+		spec = cluster.IO(n)
+	case "HY1":
+		spec = cluster.HY1(n)
+	case "HY2":
+		spec = cluster.HY2(n)
+	default:
+		spec = cluster.DC(n)
+		spec.Name = "RAND"
+		for i := range spec.Nodes {
+			spec.Nodes[i] = cluster.NodeSpec{
+				CPUPower:    r.in(0.4, 2.4),
+				MemoryBytes: spec.Nodes[i].MemoryBytes,
+				DiskScale:   r.in(0.5, 4.0),
+			}
+		}
+	}
+	// Jitter every node so no two scenarios share an architecture.
+	for i := range spec.Nodes {
+		nd := &spec.Nodes[i]
+		nd.CPUPower *= r.in(0.8, 1.25)
+		if nd.CPUPower < 0.3 {
+			nd.CPUPower = 0.3
+		}
+		nd.DiskScale *= r.in(0.75, 1.4)
+		nd.MemoryBytes = int64(float64(nd.MemoryBytes) * r.in(0.5, 2.0))
+	}
+	return spec
+}
+
+// fitMemory rescales node memories (preserving their relative structure,
+// which is what distinguishes IO/HY kinds) so the mean capacity lands
+// between a fraction of and a few times the Blk block footprint.
+func fitMemory(spec *cluster.Spec, total int, bpe int64, r *rng) {
+	blockBytes := float64(total) * float64(bpe) / float64(spec.N())
+	var mean float64
+	for _, nd := range spec.Nodes {
+		mean += float64(nd.MemoryBytes)
+	}
+	mean /= float64(spec.N())
+	scale := blockBytes * r.in(0.3, 3.0) / mean
+	for i := range spec.Nodes {
+		nd := &spec.Nodes[i]
+		nd.MemoryBytes = int64(float64(nd.MemoryBytes) * scale)
+		if min := 4 * bpe; nd.MemoryBytes < min {
+			nd.MemoryBytes = min
+		}
+	}
+}
+
+// genCases assembles the distribution set: the (possibly collapsed)
+// Figure 8 spectrum walk, plus adversarial skews.
+func genCases(spec cluster.Spec, total int, bpe int64, r *rng) []DistCase {
+	var cases []DistCase
+	for _, pt := range dist.Spectrum(total, spec, bpe, 2) {
+		name := pt.Label
+		if name == "" {
+			name = fmt.Sprintf("leg%d+%.2f", pt.Leg, pt.T)
+		}
+		cases = append(cases, DistCase{Name: "spectrum:" + name, Class: ClassSpectrum, Dist: pt.Dist})
+	}
+
+	n := spec.N()
+	// Everything on one node (the §5.3 worst-case probe).
+	one := make(dist.Distribution, n)
+	one[r.intn(n)] = total
+	cases = append(cases, DistCase{Name: "adv:one-node", Class: ClassAdversarial, Dist: one})
+
+	// Inverse-power balance: most work on the weakest CPUs.
+	inv := make([]float64, n)
+	for i, nd := range spec.Nodes {
+		inv[i] = 1 / nd.CPUPower
+	}
+	cases = append(cases, DistCase{Name: "adv:inverse-power", Class: ClassAdversarial, Dist: dist.Proportional(total, inv)})
+
+	// Random weights with a zeroed hole: a node with no work at all
+	// exercises the active-node paths of both sides.
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = r.in(0.05, 1)
+	}
+	w[r.intn(n)] = 0
+	cases = append(cases, DistCase{Name: "adv:random-hole", Class: ClassAdversarial, Dist: dist.Proportional(total, w)})
+
+	// Geometric skew: exponentially decaying blocks.
+	g := make([]float64, n)
+	g[0] = 1
+	for i := 1; i < n; i++ {
+		g[i] = g[i-1] / 2
+	}
+	cases = append(cases, DistCase{Name: "adv:geometric", Class: ClassAdversarial, Dist: dist.Proportional(total, g)})
+
+	return cases
+}
+
+// bytesPerElem sums the distributed variables' per-element footprints.
+func bytesPerElem(app *exec.App) int64 {
+	var b int64
+	for _, v := range app.Prog.DistributedVars() {
+		b += v.ElemBytes
+	}
+	return b
+}
