@@ -1,4 +1,4 @@
-// Smoke tests for the four command-line binaries: each must build, print
+// Smoke tests for the command-line binaries: each must build, print
 // usage on -h, and complete one tiny end-to-end invocation at -scale
 // test. These guard the flag surface and the wiring from flags to the
 // library — the numerical behaviour behind them is covered by the unit,
@@ -6,6 +6,7 @@
 package cmd_test
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -24,7 +25,7 @@ func TestMain(m *testing.M) {
 		os.Exit(1)
 	}
 	defer os.RemoveAll(dir)
-	// Building from the package directory, ./... covers exactly the four
+	// Building from the package directory, ./... covers exactly the
 	// cmd/ mains.
 	out, err := exec.Command("go", "build", "-o", dir, "./...").CombinedOutput()
 	if err != nil {
@@ -54,6 +55,7 @@ func TestHelp(t *testing.T) {
 		"mheta-emulate":     "-app",
 		"mheta-search":      "-alg",
 		"mheta-experiments": "-which",
+		"mheta-lint":        "maporder",
 	} {
 		out, err := exec.Command(filepath.Join(binDir, bin), "-h").CombinedOutput()
 		if err != nil {
@@ -102,6 +104,70 @@ func TestSearch(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("search output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// writeBadModule lays out a throwaway module containing one deliberate
+// determinism violation (a //lint:deterministic file calling time.Now),
+// the known-bad input the lint smoke tests run against.
+func writeBadModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module badmod\n\ngo 1.22\n",
+		"bad.go": `//lint:deterministic
+package badmod
+
+import "time"
+
+// Stamp reads the wall clock inside the deterministic contract.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLintClean asserts the linter passes over this repository — the
+// contracts it enforces must hold on the tree that ships it.
+func TestLintClean(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "mheta-lint"), "./...")
+	cmd.Dir = ".." // repo root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("mheta-lint ./... on the repo: %v\n%s", err, out)
+	}
+}
+
+// TestLintKnownBad asserts the linter exits non-zero (specifically 2,
+// vet's findings code) on a module with a planted violation, in both
+// standalone and `go vet -vettool` modes.
+func TestLintKnownBad(t *testing.T) {
+	bad := writeBadModule(t)
+	lint := filepath.Join(binDir, "mheta-lint")
+
+	cmd := exec.Command(lint, "./...")
+	cmd.Dir = bad
+	out, err := cmd.CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("standalone on bad module: err=%v (want exit 2)\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "nondeterminism") || !strings.Contains(string(out), "time.Now") {
+		t.Errorf("finding not reported:\n%s", out)
+	}
+
+	cmd = exec.Command("go", "vet", "-vettool="+lint, "./...")
+	cmd.Dir = bad
+	out, err = cmd.CombinedOutput()
+	if !errors.As(err, &exit) {
+		t.Fatalf("go vet -vettool on bad module succeeded; want failure\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now") {
+		t.Errorf("vettool finding not reported:\n%s", out)
 	}
 }
 

@@ -1,0 +1,23 @@
+// Package analysis assembles the mheta-lint suite: the custom analyzers
+// that machine-check this repo's determinism and clone-safety contracts
+// (DESIGN.md §5.7/§5.9). cmd/mheta-lint runs them standalone or as a
+// `go vet -vettool`.
+package analysis
+
+import (
+	"mheta/internal/analysis/clonesafe"
+	"mheta/internal/analysis/floatreduce"
+	"mheta/internal/analysis/lintkit"
+	"mheta/internal/analysis/maporder"
+	"mheta/internal/analysis/nondeterminism"
+)
+
+// All returns the full analyzer suite in stable (alphabetical) order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		clonesafe.Analyzer,
+		floatreduce.Analyzer,
+		maporder.Analyzer,
+		nondeterminism.Analyzer,
+	}
+}

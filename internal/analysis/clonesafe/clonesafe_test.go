@@ -1,0 +1,12 @@
+package clonesafe_test
+
+import (
+	"testing"
+
+	"mheta/internal/analysis/clonesafe"
+	"mheta/internal/analysis/lintkit/linttest"
+)
+
+func TestCloneSafe(t *testing.T) {
+	linttest.Run(t, "testdata", clonesafe.Analyzer, "clonesafe_bad", "clonesafe_good")
+}

@@ -1,0 +1,72 @@
+// Package clonesafe_bad holds Clone methods that violate the clone
+// contract in each way the analyzer distinguishes.
+package clonesafe_bad
+
+// Forgotten's Clone never mentions buf, so the clone's buf is nil.
+type Forgotten struct {
+	id  int
+	buf []float64
+}
+
+func (f *Forgotten) Clone() *Forgotten { // want `Forgotten.Clone never mentions mutable field buf`
+	return &Forgotten{id: f.id}
+}
+
+// Shared aliases its map without a //lint:shared marker.
+type Shared struct {
+	table map[string]int
+}
+
+func (s *Shared) Clone() *Shared { // want `Shared.Clone shares mutable field table`
+	return &Shared{table: s.table}
+}
+
+// WholeCopy sweeps scratch in via the struct copy.
+type WholeCopy struct {
+	n       int
+	scratch []int
+}
+
+func (w *WholeCopy) Clone() *WholeCopy { // want `WholeCopy.Clone copies the whole struct, aliasing mutable field scratch`
+	c := *w
+	return &c
+}
+
+// AssignAlias shares via field assignment on a fresh value.
+type AssignAlias struct {
+	ptr *int
+}
+
+func (a AssignAlias) Clone() AssignAlias { // want `AssignAlias.Clone shares mutable field ptr`
+	var c AssignAlias
+	c.ptr = a.ptr
+	return c
+}
+
+// Nested is pulled in by value but carries a slice inside, so sharing
+// the outer struct shares the inner storage too.
+type inner struct {
+	data []byte
+}
+
+type Nested struct {
+	in inner
+}
+
+func (n *Nested) Clone() *Nested { // want `Nested.Clone shares mutable field in`
+	return &Nested{in: n.in}
+}
+
+// Ref is a slice-kinded named type whose Clone returns the receiver.
+type Ref []int
+
+func (r Ref) Clone() Ref {
+	return r // want `Ref.Clone returns the receiver`
+}
+
+// Resliced shares the backing array through a reslice.
+type Resliced []float64
+
+func (r Resliced) Clone() Resliced {
+	return r[:len(r)] // want `Resliced.Clone returns the receiver`
+}

@@ -1,0 +1,12 @@
+package floatreduce_test
+
+import (
+	"testing"
+
+	"mheta/internal/analysis/floatreduce"
+	"mheta/internal/analysis/lintkit/linttest"
+)
+
+func TestFloatReduce(t *testing.T) {
+	linttest.Run(t, "testdata", floatreduce.Analyzer, "floatreduce_det", "floatreduce_scoped")
+}

@@ -1,0 +1,12 @@
+// Package floatreduce_scoped merges floats in completion order but is
+// not under the deterministic contract, so the analyzer stays silent.
+package floatreduce_scoped
+
+// Drain folds floats in arrival order; fine outside the contract.
+func Drain(ch <-chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}

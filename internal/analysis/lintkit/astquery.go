@@ -1,0 +1,157 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RootObject resolves the variable an lvalue or operand expression
+// ultimately refers to: it unwraps parens, derefs, indexing, slicing,
+// address-of and field selection down to the base identifier. For a
+// qualified identifier (pkg.Var) it resolves the selected object itself.
+// Returns nil when the expression has no variable root (e.g. a call
+// result).
+func (p *Pass) RootObject(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return p.ObjectOf(x)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := p.ObjectOf(id).(*types.PkgName); isPkg {
+					return p.ObjectOf(x.Sel)
+				}
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredOutside reports whether obj is declared outside the [lo, hi)
+// source range. Objects with no position (predeclared, other packages)
+// count as outside, which is the conservative answer for "does mutating
+// this leak beyond the loop".
+func DeclaredOutside(obj types.Object, lo, hi token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		return true
+	}
+	return pos < lo || pos >= hi
+}
+
+// IsFloat reports whether t's core type is a floating-point or complex
+// number — the types whose addition is not associative, making
+// accumulation order observable in the last ULPs.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// IsString reports whether t's core type is a string.
+func IsString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// CalleeObject returns the object of a call's callee if it is a plain or
+// qualified function/method reference, else nil.
+func (p *Pass) CalleeObject(call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.ObjectOf(fn)
+	case *ast.SelectorExpr:
+		return p.ObjectOf(fn.Sel)
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether obj is the package-level function pkgPath.name.
+func IsPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// IsAppendTo reports whether call is the builtin append growing the same
+// variable as target (the `s = append(s, ...)` accumulation shape).
+func (p *Pass) IsAppendTo(call *ast.CallExpr, target types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if b, ok := p.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return target != nil && p.RootObject(call.Args[0]) == target
+}
+
+// Mentions reports whether the subtree rooted at n contains an
+// identifier resolving to obj.
+func (p *Pass) Mentions(n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// WithStack walks each file like ast.Inspect while maintaining the stack
+// of enclosing nodes; fn receives each node (push only) plus the stack
+// of its ancestors, innermost last, and its return controls descent.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			keep := fn(n, stack)
+			if keep {
+				stack = append(stack, n)
+			}
+			return keep
+		})
+	}
+}
+
+// EnclosingFuncBody returns the body of the innermost function literal
+// or declaration on the stack, or nil.
+func EnclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one machine-readable `//lint:<name> <args>` comment. The
+// suite defines:
+//
+//	//lint:ignore <analyzer> <reason>   suppress that analyzer on this
+//	                                    line or the line below
+//	//lint:sorted <reason>              this map iteration is
+//	                                    order-insensitive (maporder)
+//	//lint:shared <reason>              this field is shared immutably
+//	                                    across clones (clonesafe)
+//	//lint:deterministic                this file's package opts into the
+//	                                    bit-reproducibility contract
+//
+// A reason is required on ignore/sorted/shared: a suppression without an
+// argument is itself reported by the runner, so every exemption in the
+// tree documents why it is safe.
+type Directive struct {
+	Pos  token.Pos
+	Name string
+	Args string
+}
+
+// DeterministicPkgs lists the import paths bound to the DESIGN.md §5.7
+// determinism contract: bit-identical outputs for any worker count, no
+// wall-clock or ambient-randomness inputs, reproducible float reduction
+// order. maporder, nondeterminism and floatreduce only fire inside these
+// packages (plus any file carrying //lint:deterministic); clonesafe is
+// global.
+var DeterministicPkgs = []string{
+	"mheta/internal/core",
+	"mheta/internal/dist",
+	"mheta/internal/search",
+	"mheta/internal/instrument",
+	"mheta/internal/experiments",
+	"mheta/internal/paramfile",
+}
+
+// isDeterministicPath matches path against DeterministicPkgs, including
+// the "p [p.test]" in-package test variant the go command reports when
+// vetting tests.
+func isDeterministicPath(path string) bool {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	for _, p := range DeterministicPkgs {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseDirectives extracts every lint directive from the file's comments.
+func ParseDirectives(file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			name, args, _ := strings.Cut(text, " ")
+			out = append(out, Directive{Pos: c.Slash, Name: name, Args: strings.TrimSpace(args)})
+		}
+	}
+	return out
+}

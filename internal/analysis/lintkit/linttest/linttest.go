@@ -1,0 +1,206 @@
+// Package linttest runs lintkit analyzers over fixture packages with
+// analysistest-style `// want "regexp"` expectations. Fixtures live
+// under <testdata>/src/<pkg>/ — the go tool ignores testdata trees, so
+// deliberately buggy fixture code never reaches the real build — and may
+// import anything from the standard library (resolved via export data,
+// no network).
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mheta/internal/analysis/lintkit"
+)
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run checks analyzer a against each fixture package (a directory name
+// under testdata/src). Every diagnostic the analyzer reports must match
+// a `// want` regexp on its line, and every `// want` must be matched by
+// exactly one diagnostic; any mismatch fails t. Suppression directives
+// behave exactly as in production (shared lintkit.Run path), so fixtures
+// can assert that `//lint:ignore` works.
+func Run(t *testing.T, testdata string, a *lintkit.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *lintkit.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	exports, err := lintkit.StdExports(dir, paths)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	imp := lintkit.ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	typesPkg, info, err := lintkit.Check(pkgPath, fset, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	findings, err := lintkit.Run([]*lintkit.Analyzer{a}, []*lintkit.Package{{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+
+	expects := collectWants(t, fset, files)
+	for _, f := range findings {
+		if !match(expects, f) {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+func match(expects []*expectation, f lintkit.Finding) bool {
+	for _, e := range expects {
+		if e.matched || e.file != filepath.Base(f.Pos.Filename) || e.line != f.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses `// want "p1" "p2"` comments. Each quoted string
+// (double- or back-quoted Go syntax) is a regexp one diagnostic on that
+// line must match.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, pat := range parseStrings(t, pos, c.Text[idx+len("// want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: pat,
+						re:      re,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseStrings(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s:%d: malformed want args %q (expected quoted strings)", pos.Filename, pos.Line, s)
+		}
+		end := -1
+		escaped := false
+		for i := 1; i < len(s); i++ {
+			if escaped {
+				escaped = false
+				continue
+			}
+			switch {
+			case quote == '"' && s[i] == '\\':
+				escaped = true
+			case s[i] == quote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want string in %q", pos.Filename, pos.Line, s)
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, s[:end+1], err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

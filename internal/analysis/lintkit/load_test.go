@@ -1,0 +1,161 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "mheta/internal/dist" {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+	if p.Types == nil || p.Types.Name() != "dist" {
+		t.Errorf("Types = %v, want package dist", p.Types)
+	}
+	if len(p.Files) == 0 {
+		t.Error("no files loaded")
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s loaded; production contract binds production code only", name)
+		}
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load("../../..", "./does/not/exist"); err == nil {
+		t.Fatal("expected error for nonexistent pattern")
+	}
+}
+
+func TestStdExports(t *testing.T) {
+	empty, err := StdExports(".", nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("StdExports(nil) = %v, %v; want empty, nil", empty, err)
+	}
+	exports, err := StdExports(".", []string{"fmt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exports["fmt"] == "" {
+		t.Errorf("no export data resolved for fmt: %v", exports)
+	}
+}
+
+// writeVetCfg marshals a VetConfig into a .cfg file like the go command
+// hands a -vettool.
+func writeVetCfg(t *testing.T, dir string, cfg VetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunVetFindings(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "unit.go")
+	testSrc := filepath.Join(dir, "unit_test.go")
+	if err := os.WriteFile(src, []byte("package unit\n\nfunc Hit() {}\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(testSrc, []byte("package unit\n\nfunc TestOnly() {}\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg := writeVetCfg(t, dir, VetConfig{
+		ID:         "unit",
+		ImportPath: "unit",
+		Dir:        dir,
+		GoFiles:    []string{src, testSrc},
+		VetxOutput: vetx,
+	})
+	var out bytes.Buffer
+	if code := RunVet(&out, cfg, []*Analyzer{funcFlagger("toy")}); code != 2 {
+		t.Fatalf("exit code = %d, want 2; output: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "function Hit declared (toy)") {
+		t.Errorf("missing finding in output: %s", out.String())
+	}
+	if strings.Contains(out.String(), "TestOnly") {
+		t.Errorf("_test.go finding not filtered: %s", out.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+func TestRunVetVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg := writeVetCfg(t, dir, VetConfig{
+		ID:         "unit",
+		ImportPath: "unit",
+		GoFiles:    []string{filepath.Join(dir, "missing.go")}, // never parsed
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	var out bytes.Buffer
+	if code := RunVet(&out, cfg, []*Analyzer{funcFlagger("toy")}); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output: %s", code, out.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written on VetxOnly unit: %v", err)
+	}
+}
+
+func TestRunVetTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(src, []byte("package unit\n\nvar x int = \"not an int\"\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	base := VetConfig{ID: "unit", ImportPath: "unit", GoFiles: []string{src}}
+
+	var out bytes.Buffer
+	cfg := writeVetCfg(t, dir, base)
+	if code := RunVet(&out, cfg, []*Analyzer{funcFlagger("toy")}); code != 1 {
+		t.Fatalf("exit code = %d, want 1 on type error; output: %s", code, out.String())
+	}
+
+	base.SucceedOnTypecheckFailure = true
+	out.Reset()
+	cfg = writeVetCfg(t, dir, base)
+	if code := RunVet(&out, cfg, []*Analyzer{funcFlagger("toy")}); code != 0 {
+		t.Fatalf("exit code = %d, want 0 with SucceedOnTypecheckFailure; output: %s", code, out.String())
+	}
+}
+
+func TestRunVetBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if code := RunVet(&out, filepath.Join(dir, "absent.cfg"), nil); code != 1 {
+		t.Fatalf("exit code = %d, want 1 for missing config", code)
+	}
+	bad := filepath.Join(dir, "bad.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := RunVet(&out, bad, nil); code != 1 {
+		t.Fatalf("exit code = %d, want 1 for malformed config", code)
+	}
+}

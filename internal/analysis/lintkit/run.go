@@ -1,0 +1,120 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic: positioned, attributed, and past
+// suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving findings sorted by position then analyzer name, so output is
+// stable regardless of analyzer registration or map iteration order.
+//
+// Suppression: a diagnostic is dropped when a `//lint:ignore <analyzer>
+// <reason>` directive sits on the diagnostic's line or the line above.
+// An ignore directive missing the reason is not honoured — it becomes a
+// finding itself, so silent suppressions cannot accumulate.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := runPackage(analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func runPackage(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
+	var directives []Directive
+	for _, f := range pkg.Files {
+		directives = append(directives, ParseDirectives(f)...)
+	}
+	var findings []Finding
+	for _, d := range directives {
+		if (d.Name == "ignore" || d.Name == "sorted" || d.Name == "shared") && missingReason(d) {
+			findings = append(findings, Finding{
+				Analyzer: "lintkit",
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  fmt.Sprintf("//lint:%s directive needs a reason explaining why it is safe", d.Name),
+			})
+		}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			PkgPath:    pkg.PkgPath,
+			directives: directives,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if suppressed(pkg.Fset, directives, a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lintkit: analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	return findings, nil
+}
+
+// missingReason reports whether an ignore-style directive lacks its
+// mandatory justification. For ignore the first word is the analyzer
+// name, so a reason needs at least a second word.
+func missingReason(d Directive) bool {
+	if d.Name != "ignore" {
+		return d.Args == ""
+	}
+	_, reason, _ := strings.Cut(d.Args, " ")
+	return strings.TrimSpace(reason) == ""
+}
+
+func suppressed(fset *token.FileSet, directives []Directive, analyzer string, pos token.Position) bool {
+	for _, d := range directives {
+		if d.Name != "ignore" || missingReason(d) {
+			continue
+		}
+		target, _, _ := strings.Cut(d.Args, " ")
+		if target != analyzer {
+			continue
+		}
+		dp := fset.Position(d.Pos)
+		if dp.Filename == pos.Filename && (dp.Line == pos.Line || dp.Line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

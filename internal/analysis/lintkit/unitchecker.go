@@ -1,0 +1,122 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the JSON configuration the go command hands a
+// `-vettool` for each package unit (cmd/go/internal/work.vetConfig).
+// Only the fields this suite consumes are declared; unknown fields are
+// ignored by encoding/json.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+	GoVersion    string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes the suite over one vet unit described by cfgFile and
+// writes findings to w in go vet's file:line:col format. It returns the
+// process exit code: 0 clean, 2 findings, 1 operational failure —
+// matching x/tools' unitchecker so `go vet -vettool` behaves
+// identically. The (empty) facts file the go command expects at
+// VetxOutput is always written; this suite's analyzers are fact-free.
+func RunVet(w io.Writer, cfgFile string, analyzers []*Analyzer) int {
+	findings, err := vetUnit(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func vetUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("lintkit: parsing vet config %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// The unit is being analyzed only to seed downstream facts, which
+		// this suite does not produce.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, g := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, g, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, info, err := Check(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lintkit: type-checking %s: %v", cfg.ImportPath, err)
+	}
+	findings, err := Run(analyzers, []*Package{{
+		PkgPath:   cfg.ID,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	// Vet units include _test.go files (the "p [p.test]" variant). The
+	// contracts bind production code only, mirroring Load's exclusion of
+	// test sources in standalone mode.
+	kept := findings[:0]
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}

@@ -1,0 +1,221 @@
+// Package maporder defines an analyzer that flags order-sensitive
+// accumulation inside `range` over a map in the deterministic packages.
+//
+// Go randomizes map iteration order per run. Summing floats (addition is
+// not associative), appending to a result slice, concatenating strings,
+// or writing output inside such a loop therefore produces values that
+// differ between runs — exactly the bug class behind the
+// instrument.Extract regression PR 2's differential harness caught,
+// where per-tile spans summed in map order broke bitwise
+// reproducibility. The fix idiom is to collect the keys, sort them, and
+// range over the sorted slice; the analyzer recognises that idiom
+// (key-collection loops whose slice is later passed to sort/slices) and
+// stays quiet. Integer accumulation is commutative and associative, so
+// it is deliberately not flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mheta/internal/analysis/lintkit"
+)
+
+// Analyzer flags order-sensitive accumulation in map iteration.
+var Analyzer = &lintkit.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive accumulation inside range-over-map in deterministic packages\n\n" +
+		"Float +=, result-slice append, string concatenation and stream writes depend on Go's\n" +
+		"randomized map order; iterate sorted keys instead, or annotate a provably\n" +
+		"order-insensitive loop with //lint:sorted <reason>.",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (any, error) {
+	if !pass.IsDeterministic() {
+		return nil, nil
+	}
+	lintkit.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.DirectiveAt(rs.For, "sorted") {
+			return true
+		}
+		checkRange(pass, rs, lintkit.EnclosingFuncBody(stack))
+		return true
+	})
+	return nil, nil
+}
+
+// checkRange inspects one map-range body for accumulation whose result
+// depends on iteration order.
+func checkRange(pass *lintkit.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = pass.ObjectOf(id)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, fnBody, st, keyObj)
+		case *ast.CallExpr:
+			checkWrite(pass, rs, st)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *lintkit.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt, st *ast.AssignStmt, keyObj types.Object) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		obj := pass.RootObject(lhs)
+		if !lintkit.DeclaredOutside(obj, rs.Pos(), rs.End()) {
+			return
+		}
+		// Indexing by the loop key touches each slot exactly once per
+		// iteration, so per-slot accumulation order cannot vary.
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && keyObj != nil && pass.ObjectOf(id) == keyObj {
+				return
+			}
+		}
+		t := pass.TypeOf(lhs)
+		if t == nil {
+			return
+		}
+		switch {
+		case lintkit.IsFloat(t):
+			pass.Reportf(st.Pos(), "float accumulation into %s follows randomized map iteration order; float addition is not associative — iterate sorted keys (see instrument.spanKeys)", render(lhs))
+		case lintkit.IsString(t) && st.Tok == token.ADD_ASSIGN:
+			pass.Reportf(st.Pos(), "string concatenation into %s follows randomized map iteration order — iterate sorted keys", render(lhs))
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(st.Lhs) {
+				continue
+			}
+			obj := pass.RootObject(st.Lhs[i])
+			if !lintkit.DeclaredOutside(obj, rs.Pos(), rs.End()) {
+				continue
+			}
+			if !pass.IsAppendTo(call, obj) {
+				continue
+			}
+			if sortedAfter(pass, fnBody, rs, obj) {
+				continue // collect-then-sort idiom: order is repaired below
+			}
+			pass.Reportf(st.Pos(), "appends to %s in randomized map iteration order — collect into the slice and sort it, or iterate sorted keys", render(st.Lhs[i]))
+		}
+	}
+}
+
+// checkWrite flags stream output emitted while ranging a map:
+// fmt.Fprint* to any writer, and Write* methods on strings.Builder /
+// bytes.Buffer, make the byte stream's order follow map order.
+func checkWrite(pass *lintkit.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	callee := pass.CalleeObject(call)
+	for _, name := range [...]string{"Fprint", "Fprintf", "Fprintln"} {
+		if lintkit.IsPkgFunc(callee, "fmt", name) {
+			pass.Reportf(call.Pos(), "fmt.%s inside range-over-map emits output in randomized map iteration order — iterate sorted keys", name)
+			return
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return
+	}
+	recv := pass.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if qual != "strings.Builder" && qual != "bytes.Buffer" {
+		return
+	}
+	if !lintkit.DeclaredOutside(pass.RootObject(sel.X), rs.Pos(), rs.End()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s inside range-over-map emits output in randomized map iteration order — iterate sorted keys", named.Obj().Name(), sel.Sel.Name)
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call after the range statement within the same function — the
+// collect-keys-then-sort idiom that makes the collection loop safe.
+func sortedAfter(pass *lintkit.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkg.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if pass.Mentions(arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return render(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + render(x.X)
+	case *ast.ParenExpr:
+		return render(x.X)
+	}
+	return "expression"
+}

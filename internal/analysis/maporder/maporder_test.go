@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"mheta/internal/analysis/lintkit/linttest"
+	"mheta/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", maporder.Analyzer, "maporder_det", "maporder_scoped")
+}

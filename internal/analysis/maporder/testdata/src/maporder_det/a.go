@@ -1,0 +1,136 @@
+// Package maporder_det exercises the maporder analyzer: the directive
+// below opts the fixture into the deterministic contract.
+//
+//lint:deterministic
+package maporder_det
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Sum accumulates floats in map order: flagged.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation into total follows randomized map iteration order`
+	}
+	return total
+}
+
+// Concat builds a string in map order: flagged.
+func Concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation into s follows randomized map iteration order`
+	}
+	return s
+}
+
+// Keys collects without sorting: flagged.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in randomized map iteration order`
+	}
+	return keys
+}
+
+// SortedKeys is the collect-then-sort idiom; the later sort.Strings
+// repairs the order, so the collection loop is clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SlicesSorted uses the slices package for the same idiom.
+func SlicesSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Render emits rows through fmt in map order: flagged.
+func Render(m map[string]float64) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%v\n", k, v) // want `fmt.Fprintf inside range-over-map emits output in randomized map iteration order`
+	}
+	return b.String()
+}
+
+// Buffer streams through a bytes.Buffer in map order: flagged.
+func Buffer(m map[string]string) string {
+	var b bytes.Buffer
+	for _, v := range m {
+		b.WriteString(v) // want `Buffer.WriteString inside range-over-map emits output in randomized map iteration order`
+	}
+	return b.String()
+}
+
+// IntSum is commutative, associative integer accumulation: clean.
+func IntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Rebuild writes each output slot exactly once: clean.
+func Rebuild(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// SlotAdd accumulates into a slot indexed by the loop key; every slot is
+// touched exactly once per pass, so order cannot matter: clean.
+func SlotAdd(dst, m map[string]float64) {
+	for k, v := range m {
+		dst[k] += v
+	}
+}
+
+// LoopLocal appends to a slice that lives inside the loop body: clean.
+func LoopLocal(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Marked asserts order-insensitivity with the semantic marker.
+func Marked(m map[string]float64) float64 {
+	t := 0.0
+	//lint:sorted every value in this fixture map is identical by construction, so order cannot matter
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Ignored demonstrates the generic per-line suppression.
+func Ignored(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//lint:ignore maporder fixture demonstrating the generic suppression path
+		t += v
+	}
+	return t
+}

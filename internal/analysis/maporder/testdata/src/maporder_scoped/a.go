@@ -1,0 +1,28 @@
+// Package maporder_scoped contains the same violations as maporder_det
+// but neither sits in a deterministic import path nor carries the
+// //lint:deterministic directive — the analyzer must stay silent.
+package maporder_scoped
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sum would fire inside the deterministic contract; here it is out of
+// scope.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Render likewise.
+func Render(m map[string]float64) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%v\n", k, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+// Package nondeterminism defines an analyzer that bans ambient
+// nondeterminism — wall clocks and globally-seeded randomness — in the
+// deterministic packages.
+//
+// The model's value rests on reproducibility: the same parameters and
+// seed must predict the same times bit-for-bit (DESIGN.md §5.7).
+// Randomness is therefore required to flow in as an explicit seeded
+// source (the way validate.Scenario derives per-scenario streams from a
+// caller seed), never drawn from the process environment. The analyzer
+// flags time.Now and friends, every math/rand (and math/rand/v2)
+// package-level function that draws from the shared global source, and
+// any import of crypto/rand. Constructing explicit generators —
+// rand.New, rand.NewSource, rand.NewZipf, rand/v2's NewPCG and
+// NewChaCha8 — stays legal, since their seeds are the caller's
+// responsibility.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"mheta/internal/analysis/lintkit"
+)
+
+// Analyzer bans wall-clock and global-source randomness.
+var Analyzer = &lintkit.Analyzer{
+	Name: "nondeterminism",
+	Doc: "ban time.Now and globally-seeded randomness in deterministic packages\n\n" +
+		"Randomness must enter through an explicit seeded source; wall-clock reads make\n" +
+		"outputs depend on the machine. Suppress a deliberate wall-clock measurement with\n" +
+		"//lint:ignore nondeterminism <reason>.",
+	Run: run,
+}
+
+// bannedTime lists the time package's ambient-clock entry points. Types
+// (time.Duration) and pure conversions (time.Unix) remain usable.
+var bannedTime = set("Now", "Since", "Until", "After", "AfterFunc", "Tick", "NewTicker", "NewTimer", "Sleep")
+
+// allowedRand lists the explicit-generator constructors of math/rand and
+// math/rand/v2; every other package-level function of those packages
+// reads the shared global source and is banned.
+var allowedRand = set("New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8")
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func run(pass *lintkit.Pass) (any, error) {
+	if !pass.IsDeterministic() {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if path, err := strconv.Unquote(n.Path.Value); err == nil && path == "crypto/rand" {
+					pass.Reportf(n.Pos(), "crypto/rand is inherently nondeterministic; deterministic packages must take a seeded math/rand source instead")
+				}
+			case *ast.Ident:
+				check(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func check(pass *lintkit.Pass, id *ast.Ident) {
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on explicit sources (e.g. *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTime[fn.Name()] {
+			pass.Reportf(id.Pos(), "time.%s depends on the wall clock; deterministic packages must not read real time", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[fn.Name()] {
+			pass.Reportf(id.Pos(), "%s.%s draws from the globally-seeded source; plumb an explicit *rand.Rand built from a caller-provided seed", pathBase(fn.Pkg().Path()), fn.Name())
+		}
+	}
+}
+
+func pathBase(p string) string {
+	if p == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

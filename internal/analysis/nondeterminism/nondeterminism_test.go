@@ -1,0 +1,12 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"mheta/internal/analysis/lintkit/linttest"
+	"mheta/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", nondeterminism.Analyzer, "nondet_det", "nondet_scoped")
+}

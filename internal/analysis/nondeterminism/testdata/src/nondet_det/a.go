@@ -1,0 +1,51 @@
+// Package nondet_det exercises the nondeterminism analyzer inside the
+// deterministic contract.
+//
+//lint:deterministic
+package nondet_det
+
+import (
+	crand "crypto/rand" // want `crypto/rand is inherently nondeterministic`
+	"math/rand"
+	rv2 "math/rand/v2"
+	"time"
+)
+
+// Bad reads ambient time and globally-seeded randomness.
+func Bad() float64 {
+	start := time.Now()                // want `time.Now depends on the wall clock`
+	time.Sleep(time.Nanosecond)        // want `time.Sleep depends on the wall clock`
+	_ = time.Since(start)              // want `time.Since depends on the wall clock`
+	n := rand.Intn(10)                 // want `rand.Intn draws from the globally-seeded source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the globally-seeded source`
+	f := rand.Float64()                // want `rand.Float64 draws from the globally-seeded source`
+	k := rv2.IntN(10)                  // want `rand/v2.IntN draws from the globally-seeded source`
+	var buf [8]byte
+	_, _ = crand.Read(buf[:])
+	return f + float64(n+k)
+}
+
+// Indirect shows that taking a function value is banned too: the
+// nondeterminism flows wherever the reference is called.
+func Indirect() func() time.Time {
+	return time.Now // want `time.Now depends on the wall clock`
+}
+
+// Good threads explicit seeded sources; every construction below is the
+// sanctioned pattern.
+func Good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	p := rv2.New(rv2.NewPCG(uint64(seed), 2))
+	z := rand.NewZipf(r, 1.1, 1.0, 100)
+	epoch := time.Unix(0, seed)
+	var d time.Duration
+	d += epoch.Sub(time.Unix(0, 0))
+	return r.Float64() + p.Float64() + float64(z.Uint64()) + d.Seconds()
+}
+
+// Measured is a sanctioned wall-clock read with the documented
+// suppression.
+func Measured() time.Time {
+	//lint:ignore nondeterminism fixture for the deliberate-measurement escape hatch
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+// Package nondet_scoped uses wall clocks and global randomness outside
+// the deterministic contract — the analyzer must stay silent.
+package nondet_scoped
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed measures wall time, which is fine outside the contract.
+func Elapsed() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(10)
+	return time.Since(start)
+}

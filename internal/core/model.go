@@ -12,10 +12,12 @@ import (
 // without allocating (the paper evaluates thousands of candidate
 // distributions per search).
 type Model struct {
+	//lint:shared params are validated once and never written after NewModel; clones read them concurrently.
 	p Params
 	// stageVar[si][sti] is the index into p.DistVars of the stage's
 	// streamed variable, or -1 — compiled once so Predict does no string
 	// lookups.
+	//lint:shared compiled once in NewModel, read-only thereafter; clones share the table.
 	stageVar [][]int
 	// scratch, reused across Predict calls (a Model is not safe for
 	// concurrent use; clone one per goroutine with Clone).

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -613,5 +615,40 @@ func TestThreeNodeNearestNeighborHandCalc(t *testing.T) {
 		if !closeTo(pred.NodeTimes[i], w) {
 			t.Fatalf("node %d: %v, want %v (full times %v)", i, pred.NodeTimes[i], w, pred.NodeTimes)
 		}
+	}
+}
+
+// TestCloneSharedStateConcurrent pins the //lint:shared contract on
+// Model's params and compiled stage table: they are never written after
+// NewModel, so a parent and its clones may evaluate concurrently. The
+// race detector fails this test if any evaluation writes shared state;
+// the value checks fail it if scratch leaks between evaluators.
+func TestCloneSharedStateConcurrent(t *testing.T) {
+	m := MustModel(handParams())
+	want := m.Predict([]int{20, 0}).Total
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		c := m.Clone()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Predict([]int{0, 20}) // contaminate own scratch
+				if got := c.Predict([]int{20, 0}).Total; got != want {
+					errs <- fmt.Errorf("goroutine %d iter %d: %v != %v", id, i, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := m.Predict([]int{20, 0}).Total; got != want {
+		t.Fatalf("parent scratch contaminated by clones: %v != %v", got, want)
 	}
 }

@@ -323,3 +323,36 @@ func TestMultigridBuilderAndAllApps(t *testing.T) {
 		}
 	}
 }
+
+// TestRenderAccuracyDeterministic pins the fix for the map-order bug
+// mheta-lint's maporder analyzer caught: RenderAccuracy used to range
+// over PerApp directly, so row order followed Go's randomized map
+// iteration and the report differed run to run. Rows must now come out
+// in sorted application order, identically on every call.
+func TestRenderAccuracyDeterministic(t *testing.T) {
+	acc := Accuracy{
+		PerApp: map[string]float64{
+			"water": 0.061, "jacobi": 0.012, "rna": 0.048,
+			"lanczos": 0.027, "matmul": 0.019, "lu": 0.033,
+		},
+		Overall: 0.033,
+	}
+	first := RenderAccuracy(acc)
+	for i := 0; i < 50; i++ {
+		if got := RenderAccuracy(acc); got != first {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	// Sorted application order, OVERALL last.
+	last := -1
+	for _, app := range []string{"jacobi", "lanczos", "lu", "matmul", "rna", "water", "OVERALL"} {
+		idx := strings.Index(first, app)
+		if idx < 0 {
+			t.Fatalf("row %s missing:\n%s", app, first)
+		}
+		if idx < last {
+			t.Fatalf("row %s out of sorted order:\n%s", app, first)
+		}
+		last = idx
+	}
+}
