@@ -346,6 +346,38 @@ func BenchmarkMemoisedEvaluate(b *testing.B) {
 	b.ReportMetric(float64(len(ds)), "dists/batch")
 }
 
+// BenchmarkMemoisedEvaluateObserved is BenchmarkMemoisedEvaluate with a
+// live metrics registry attached — the enabled-instrumentation cost of
+// the same warm path. CI compares the two to bound the observability
+// overhead; with no registry the only cost is a nil check, pinned at
+// zero allocations by TestMemoisedBatchZeroAlloc.
+func BenchmarkMemoisedEvaluateObserved(b *testing.B) {
+	spec := cluster.HY1(8)
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 1024, 128, 5
+	app := apps.NewJacobi(cfg)
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := dist.SpectrumFull(cfg.Rows, spec, app.Prog.MustVar("B").ElemBytes, 8)
+	ds := make([]dist.Distribution, len(pts))
+	for i, pt := range pts {
+		ds[i] = pt.Dist
+	}
+	memo := search.NewMemo(search.ModelEvaluator{Model: model})
+	memo.Observe(mheta.NewMetrics())
+	out := make([]float64, len(ds))
+	memo.EvaluateBatchInto(out, ds) // warm
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo.EvaluateBatchInto(out, ds)
+	}
+	b.ReportMetric(float64(len(ds)), "dists/batch")
+}
+
 // --- Ablation benches (DESIGN.md §5) -----------------------------------
 
 // BenchmarkAblationNoise compares prediction error with and without

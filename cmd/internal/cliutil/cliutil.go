@@ -1,0 +1,131 @@
+// Package cliutil carries the plumbing shared by the mheta command-line
+// binaries: usage-error reporting with the conventional exit code 2,
+// validation for the flags every binary interprets the same way, and the
+// observability surface (-metrics, -cpuprofile, -memprofile) so each
+// main wires it identically.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"mheta/internal/experiments"
+	"mheta/internal/obs"
+)
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// Usagef reports a bad flag value on stderr — prefixed like the binary's
+// other messages via the log prefix the main installed — and exits 2,
+// the flag package's own convention for usage errors. Runtime failures
+// (I/O errors, model errors) stay on log.Fatal and exit 1.
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s%s (run with -h for usage)\n", log.Prefix(), fmt.Sprintf(format, args...))
+	exit(2)
+}
+
+// ParseScale validates a -scale value; an unknown scale is a usage
+// error, not a silent fallback or a runtime failure.
+func ParseScale(s string) experiments.Scale {
+	sc, err := experiments.ParseScale(s)
+	if err != nil {
+		Usagef("%v", err)
+	}
+	return sc
+}
+
+// ParseParallel validates a -parallel value: worker counts start at 1.
+// "All cores" is spelled explicitly (e.g. -parallel $(nproc)); 0 and
+// negatives used to fall back silently and now fail loudly.
+func ParseParallel(n int) int {
+	if n <= 0 {
+		Usagef("-parallel must be at least 1, got %d (use -parallel %d for all cores)", n, runtime.GOMAXPROCS(0))
+	}
+	return n
+}
+
+// ObsFlags is the observability flag surface shared by the binaries.
+type ObsFlags struct {
+	metrics    *string
+	cpuProfile *string
+	memProfile *string
+
+	reg     *obs.Registry
+	cpuFile *os.File
+}
+
+// RegisterObsFlags declares -metrics, -cpuprofile and -memprofile on the
+// default flag set; call before flag.Parse.
+func RegisterObsFlags() *ObsFlags {
+	return &ObsFlags{
+		metrics:    flag.String("metrics", "", "write end-of-run metrics as JSON to this file and a summary to stderr"),
+		cpuProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		memProfile: flag.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins profiling and returns the metrics registry — nil unless
+// -metrics was given, so instrumented code paths stay no-ops by default.
+// Call after flag.Parse; pair with a deferred Finish.
+func (f *ObsFlags) Start() *obs.Registry {
+	if *f.cpuProfile != "" {
+		file, err := os.Create(*f.cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		f.cpuFile = file
+	}
+	if *f.metrics != "" {
+		f.reg = obs.New()
+	}
+	return f.reg
+}
+
+// Finish stops the CPU profile, writes the heap profile, writes the
+// metrics file and prints the metrics summary to stderr. stdout is never
+// touched, so golden output stays bit-identical with -metrics enabled.
+func (f *ObsFlags) Finish() {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			log.Printf("-cpuprofile: %v", err)
+		}
+		f.cpuFile = nil
+	}
+	if *f.memProfile != "" {
+		file, err := os.Create(*f.memProfile)
+		if err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		runtime.GC() // up-to-date allocation data, as the pprof docs advise
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+	}
+	if f.reg != nil {
+		file, err := os.Create(*f.metrics)
+		if err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		if err := f.reg.WriteJSON(file); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		if s := f.reg.Summary(); s != "" {
+			fmt.Fprint(os.Stderr, s)
+		}
+	}
+}

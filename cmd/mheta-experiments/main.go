@@ -12,14 +12,20 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"runtime"
-	"strings"
 
+	"mheta/cmd/internal/cliutil"
 	"mheta/internal/apps"
 	"mheta/internal/cluster"
 	"mheta/internal/experiments"
 )
+
+// experimentNames lists every -which value; validation is an exact match
+// against this list, up front — the old check ran after the experiments
+// and accepted any substring of the joined names ("fig", "s", ...).
+var experimentNames = []string{
+	"table1", "fig8", "fig9", "fig9pf", "fig9apps", "fig10", "fig11",
+	"ratios", "search", "interference", "latency",
+}
 
 func main() {
 	log.SetFlags(0)
@@ -27,19 +33,19 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: paper, quick or test")
 	which := flag.String("which", "all", "experiment to run: all, table1, fig8, fig9, fig9pf, fig9apps, fig10, fig11, ratios, search, interference, latency")
 	seed := flag.Uint64("seed", 0x8E7A, "noise seed")
-	parallel := flag.Int("parallel", 1, "worker goroutines for sweep fan-out and search evaluation (0 = all cores); results are identical for any worker count")
+	parallel := flag.Int("parallel", 1, "worker goroutines for sweep fan-out and search evaluation (>= 1); results are identical for any worker count")
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
-	scale, err := experiments.ParseScale(*scaleFlag)
-	if err != nil {
-		log.Fatal(err)
+	scale := cliutil.ParseScale(*scaleFlag)
+	if *which != "all" && !knownExperiment(*which) {
+		cliutil.Usagef("unknown experiment %q (see -which in -h)", *which)
 	}
 	r := experiments.DefaultRunner(scale)
 	r.Seed = *seed
-	r.Workers = *parallel
-	if r.Workers <= 0 {
-		r.Workers = runtime.GOMAXPROCS(0)
-	}
+	r.Workers = cliutil.ParseParallel(*parallel)
+	r.Obs = obsFlags.Start()
+	defer obsFlags.Finish()
 
 	run := func(name string, fn func() error) {
 		if *which != "all" && *which != name {
@@ -162,9 +168,13 @@ func main() {
 		fmt.Printf("Model evaluation latency: %v per distribution (paper: ~5.4 ms on 2005 hardware)\n", d)
 		return nil
 	})
+}
 
-	if *which != "all" && !strings.Contains("table1 fig8 fig9 fig9pf fig9apps fig10 fig11 ratios search interference latency", *which) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-		os.Exit(2)
+func knownExperiment(name string) bool {
+	for _, n := range experimentNames {
+		if n == name {
+			return true
+		}
 	}
+	return false
 }

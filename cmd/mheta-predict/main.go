@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"mheta"
+	"mheta/cmd/internal/cliutil"
 	"mheta/internal/core"
 	"mheta/internal/dist"
 	"mheta/internal/experiments"
@@ -34,18 +35,22 @@ func main() {
 	scaleFlag := flag.String("scale", "paper", "dataset scale for -collect: paper, quick or test")
 	seed := flag.Uint64("seed", 42, "noise seed for -collect")
 	detailed := flag.Bool("detailed", false, "print per-node and per-section breakdown")
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
+	scale := cliutil.ParseScale(*scaleFlag)
 	if *paramsPath == "" {
-		log.Fatal("-params is required")
+		cliutil.Usagef("-params is required")
 	}
+	reg := obsFlags.Start()
+	defer obsFlags.Finish()
 
 	if *collect != "" {
 		parts := strings.SplitN(*collect, ":", 2)
 		if len(parts) != 2 {
-			log.Fatalf("-collect wants app:config, got %q", *collect)
+			cliutil.Usagef("-collect wants app:config, got %q", *collect)
 		}
-		app, err := buildApp(parts[0], *scaleFlag)
+		app, err := buildApp(parts[0], scale)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,6 +98,11 @@ func main() {
 	}
 
 	pred := model.PredictDetailed(d)
+	if reg != nil {
+		reg.Counter("predict.predictions").Inc()
+		reg.Gauge("predict.total_s").Set(pred.Total)
+		reg.Gauge("predict.per_iteration_s").Set(pred.PerIteration)
+	}
 	fmt.Printf("program:        %s\n", params.Program)
 	fmt.Printf("distribution:   %v\n", d)
 	fmt.Printf("per iteration:  %.6fs\n", pred.PerIteration)
@@ -121,11 +131,7 @@ func totalOf(p core.Params) int {
 	return t
 }
 
-func buildApp(name, scale string) (*mheta.App, error) {
-	sc, err := experiments.ParseScale(scale)
-	if err != nil {
-		return nil, err
-	}
+func buildApp(name string, sc experiments.Scale) (*mheta.App, error) {
 	b, err := experiments.BuilderByName(name)
 	if err != nil {
 		return nil, err

@@ -6,17 +6,28 @@
 //
 //	mheta-search -app jacobi -config HY1 -alg gbs
 //	mheta-search -app lanczos -config HY2 -alg all -verify
-//	mheta-search -app rna -config HY2 -alg genetic -parallel 0
+//	mheta-search -app rna -config HY2 -alg genetic -parallel 4 -metrics m.json
+//	mheta-search -app jacobi -config IO -alg gbs -verify -trace-out run.json
+//
+// -metrics records the memo hit/miss counters, pool utilization and the
+// per-algorithm convergence series; -trace-out (single -alg, with
+// -verify) writes the verification run's timeline as Chrome trace-event
+// JSON for Perfetto.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"mheta"
+	"mheta/cmd/internal/cliutil"
+	"mheta/internal/exec"
 	"mheta/internal/experiments"
+	"mheta/internal/mpi"
 	"mheta/internal/stats"
+	"mheta/internal/trace"
 )
 
 func main() {
@@ -27,11 +38,26 @@ func main() {
 	configName := flag.String("config", "HY1", "cluster configuration: DC, IO, HY1, HY2")
 	alg := flag.String("alg", "gbs", "algorithm: gbs, genetic, annealing, random, all")
 	verify := flag.Bool("verify", false, "run the found distribution on the emulator and report the actual time")
+	traceOut := flag.String("trace-out", "", "write the -verify run's timeline as Chrome trace-event JSON to this file (single -alg only)")
 	seed := flag.Uint64("seed", 42, "noise seed")
-	parallel := flag.Int("parallel", 1, "evaluation workers per search (0 = all cores); results are identical for any worker count")
+	parallel := flag.Int("parallel", 1, "evaluation workers per search (>= 1); results are identical for any worker count")
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
 
-	app, err := buildApp(*appName, *scaleFlag)
+	scale := cliutil.ParseScale(*scaleFlag)
+	workers := cliutil.ParseParallel(*parallel)
+	if *traceOut != "" {
+		if !*verify {
+			cliutil.Usagef("-trace-out traces the verification run; add -verify")
+		}
+		if *alg == "all" {
+			cliutil.Usagef("-trace-out needs a single -alg, not all")
+		}
+	}
+	reg := obsFlags.Start()
+	defer obsFlags.Finish()
+
+	app, err := buildApp(*appName, scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,13 +80,14 @@ func main() {
 	fmt.Printf("%-10s %10s %8s  %s\n", "algorithm", "pred(s)", "evals", "distribution")
 	fmt.Printf("%-10s %10.3f %8s  %v\n", "blk", blkPred, "-", blk)
 	for _, a := range algs {
-		res, err := mheta.SearchWithWorkers(a, spec, app, model, *seed, *parallel)
+		res, err := mheta.SearchWithOptions(a, spec, app, model, *seed,
+			mheta.SearchOptions{Workers: workers, Metrics: reg})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s %10.3f %8d  %v\n", res.Algorithm, res.Time, res.Evaluations, res.Best)
 		if *verify {
-			actual, err := mheta.RunActual(spec, app, res.Best, *seed^0xACDC)
+			actual, err := runActual(spec, app, res.Best, *seed^0xACDC, *traceOut)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -70,11 +97,37 @@ func main() {
 	}
 }
 
-func buildApp(name, scale string) (*mheta.App, error) {
-	sc, err := experiments.ParseScale(scale)
-	if err != nil {
-		return nil, err
+// runActual emulates d, optionally writing the run's Chrome trace.
+func runActual(spec mheta.ClusterSpec, app *mheta.App, d mheta.Distribution, seed uint64, traceOut string) (float64, error) {
+	var tr *trace.Trace
+	opts := exec.Options{}
+	if traceOut != "" {
+		tr = trace.New()
+		opts.Trace = tr
 	}
+	w := mpi.NewWorld(spec, seed, mheta.DefaultNoise)
+	res, err := exec.Run(w, app, d, opts)
+	if err != nil {
+		return 0, err
+	}
+	if tr != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return 0, fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return 0, fmt.Errorf("-trace-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "mheta-search: wrote Chrome trace to %s\n", traceOut)
+	}
+	return res.Time, nil
+}
+
+func buildApp(name string, sc experiments.Scale) (*mheta.App, error) {
 	b, err := experiments.BuilderByName(name)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -168,6 +169,117 @@ func TestLintKnownBad(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "time.Now") {
 		t.Errorf("vettool finding not reported:\n%s", out)
+	}
+}
+
+// runExpectUsage executes a binary expecting a usage error: exit code 2
+// and a message mentioning every want string.
+func runExpectUsage(t *testing.T, bin string, wants []string, args ...string) {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, bin), args...).CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("%s %s: err=%v, want exit 2\n%s", bin, strings.Join(args, " "), err, out)
+	}
+	for _, want := range wants {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("%s %s: output missing %q:\n%s", bin, strings.Join(args, " "), want, out)
+		}
+	}
+}
+
+// TestFlagRejection pins the usage-error exits: bad -scale and
+// non-positive -parallel used to fall back silently (parallel) or exit 1
+// mid-run (scale); both are flag mistakes and must exit 2 before any
+// work happens.
+func TestFlagRejection(t *testing.T) {
+	for _, bin := range []string{"mheta-emulate", "mheta-search", "mheta-predict", "mheta-experiments"} {
+		runExpectUsage(t, bin, []string{"scale"}, "-scale", "enormous")
+	}
+	for _, bin := range []string{"mheta-search", "mheta-experiments"} {
+		runExpectUsage(t, bin, []string{"-parallel"}, "-scale", "test", "-parallel", "0")
+		runExpectUsage(t, bin, []string{"-parallel"}, "-scale", "test", "-parallel", "-4")
+	}
+	runExpectUsage(t, "mheta-predict", []string{"-params"})
+	runExpectUsage(t, "mheta-experiments", []string{"unknown experiment"}, "-scale", "test", "-which", "fig")
+	// -trace-out preconditions on mheta-search.
+	runExpectUsage(t, "mheta-search", []string{"-verify"},
+		"-scale", "test", "-alg", "gbs", "-trace-out", "t.json")
+	runExpectUsage(t, "mheta-search", []string{"single -alg"},
+		"-scale", "test", "-alg", "all", "-verify", "-trace-out", "t.json")
+	// -trace-out on mheta-emulate needs the single-run path.
+	runExpectUsage(t, "mheta-emulate", []string{"-spectrum"},
+		"-scale", "test", "-spectrum", "2", "-trace-out", "t.json")
+}
+
+// TestEmulateObservability runs the emulator with every observability
+// flag and checks the artifacts: Chrome trace JSON, metrics JSON, and
+// pprof profiles — while stdout keeps the plain report format.
+func TestEmulateObservability(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.json")
+	metricsFile := filepath.Join(dir, "metrics.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out := run(t, "mheta-emulate", "-app", "jacobi", "-config", "IO", "-scale", "test",
+		"-trace-out", traceFile, "-metrics", metricsFile, "-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(out, "actual(s)") {
+		t.Fatalf("report missing:\n%s", out)
+	}
+	var events []map[string]any
+	mustJSON(t, traceFile, &events)
+	if len(events) == 0 {
+		t.Fatal("empty Chrome trace")
+	}
+	var metrics map[string]any
+	mustJSON(t, metricsFile, &metrics)
+	if _, ok := metrics["counters"]; !ok {
+		t.Fatalf("metrics JSON has no counters: %v", metrics)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+// TestSearchObservability checks -metrics and -trace-out on the search
+// binary: the metrics must include the memo counters and a convergence
+// series, and the trace must be valid Chrome JSON.
+func TestSearchObservability(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.json")
+	metricsFile := filepath.Join(dir, "metrics.json")
+	out := run(t, "mheta-search", "-app", "jacobi", "-config", "HY1", "-scale", "test",
+		"-alg", "gbs", "-parallel", "2", "-verify", "-trace-out", traceFile, "-metrics", metricsFile)
+	if !strings.Contains(out, "gbs") || !strings.Contains(out, "verify") {
+		t.Fatalf("search output:\n%s", out)
+	}
+	raw, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"search.memo.hits", "search.memo.misses", "search.gbs.best", "search.pool.worker.01.evals"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q:\n%s", want, raw)
+		}
+	}
+	var events []map[string]any
+	mustJSON(t, traceFile, &events)
+	if len(events) == 0 {
+		t.Fatal("empty Chrome trace")
+	}
+}
+
+// mustJSON decodes a file or fails the test.
+func mustJSON(t *testing.T, path string, into any) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", path, err)
 	}
 }
 

@@ -36,6 +36,7 @@ type Directive struct {
 var DeterministicPkgs = []string{
 	"mheta/internal/core",
 	"mheta/internal/dist",
+	"mheta/internal/obs",
 	"mheta/internal/search",
 	"mheta/internal/instrument",
 	"mheta/internal/experiments",

@@ -79,6 +79,8 @@ func TestIsDeterministicPath(t *testing.T) {
 		{"mheta/internal/core", true},
 		{"mheta/internal/core [mheta/internal/core.test]", true},
 		{"mheta/internal/search", true},
+		{"mheta/internal/obs", true},
+		{"mheta/internal/trace", false},
 		{"mheta/internal/report", false},
 		{"mheta/cmd/mheta-lint", false},
 		{"fmt", false},

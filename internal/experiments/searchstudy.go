@@ -54,7 +54,9 @@ func (r *Runner) RunSearchStudy(spec cluster.Spec, ab AppBuilder) (SearchStudy, 
 	if w := r.workers(); w > 1 {
 		// Candidate evaluations fan out over per-worker model clones;
 		// search results are bit-identical to the serial path.
-		ev = search.NewPool(ev, w)
+		pool := search.NewPool(ev, w)
+		pool.Observe(r.Obs)
+		ev = pool
 	}
 
 	study := SearchStudy{Config: spec.Name, App: ab.Name}
@@ -71,10 +73,10 @@ func (r *Runner) RunSearchStudy(spec cluster.Spec, ab AppBuilder) (SearchStudy, 
 	study.Baseline = SearchRow{Algorithm: "blk-baseline", Predicted: model.Predict(base).Total, Actual: at, Dist: base}
 
 	searchers := []search.Searcher{
-		&search.GBS{Spec: spec, BytesPerElem: bpe},
-		&search.Genetic{N: spec.N(), Seed: r.Seed},
-		&search.Annealing{N: spec.N(), Seed: r.Seed},
-		&search.Random{N: spec.N(), Seed: r.Seed},
+		&search.GBS{Spec: spec, BytesPerElem: bpe, Obs: r.Obs},
+		&search.Genetic{N: spec.N(), Seed: r.Seed, Obs: r.Obs},
+		&search.Annealing{N: spec.N(), Seed: r.Seed, Obs: r.Obs},
+		&search.Random{N: spec.N(), Seed: r.Seed, Obs: r.Obs},
 	}
 	for _, s := range searchers {
 		res := s.Search(ev, total)

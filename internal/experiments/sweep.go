@@ -10,6 +10,7 @@ import (
 	"mheta/internal/exec"
 	"mheta/internal/instrument"
 	"mheta/internal/mpi"
+	"mheta/internal/obs"
 	"mheta/internal/stats"
 )
 
@@ -30,6 +31,11 @@ type Runner struct {
 	// serially. Every sweep is seeded independently, so results are
 	// identical for any worker count.
 	Workers int
+	// Obs, when non-nil, receives the search study's observability:
+	// memo hit/miss counters, pool utilization and per-algorithm
+	// convergence series. Observation only — rendered tables and golden
+	// outputs are bit-identical with or without it.
+	Obs *obs.Registry
 }
 
 // DefaultRunner returns the standard configuration at the given scale.

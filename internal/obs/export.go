@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time, name-sorted copy of a registry's state —
+// the exporters all render a Snapshot, never the live maps, so output
+// order is deterministic by construction (the maporder contract).
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+	Series     []SeriesSnap    `json:"series,omitempty"`
+}
+
+// CounterSnap is one counter's snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge's snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnap is one histogram's snapshot; Counts has one entry per
+// bound plus a final overflow bucket.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// SeriesSnap is one series' snapshot in append order.
+type SeriesSnap struct {
+	Name    string   `json:"name"`
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot copies the registry's current state with every section sorted
+// by instrument name. A nil registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	series := make(map[string]*Series, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: counters[name].Value()})
+	}
+	for _, name := range sortedKeys(gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name:   name,
+			Bounds: append([]float64(nil), h.Bounds()...),
+			Counts: h.BucketCounts(),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		})
+	}
+	for _, name := range sortedKeys(series) {
+		s.Series = append(s.Series, SeriesSnap{Name: name, Samples: series[name].Samples()})
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the registry as one indented JSON object with every
+// section sorted by name. Deterministic for a deterministic program.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Summary renders a short human-readable report, sorted by name — the
+// end-of-run dump the cmd/ binaries print. A nil registry summarises to
+// an empty string.
+func (r *Registry) Summary() string {
+	s := r.Snapshot()
+	if len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0 && len(s.Series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("--- metrics ---\n")
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-40s %12d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-40s %12.6g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-40s n=%d sum=%.6g\n", h.Name, h.Count, h.Sum)
+		for i, bound := range h.Bounds {
+			if h.Counts[i] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  <= %-12.6g %12d\n", bound, h.Counts[i])
+		}
+		if over := h.Counts[len(h.Counts)-1]; over > 0 {
+			fmt.Fprintf(&b, "  >  %-12.6g %12d\n", lastBound(h.Bounds), over)
+		}
+	}
+	for _, sr := range s.Series {
+		if len(sr.Samples) == 0 {
+			continue
+		}
+		first, last := sr.Samples[0], sr.Samples[len(sr.Samples)-1]
+		fmt.Fprintf(&b, "%-40s %d samples, first %.6g @%d, last %.6g @%d\n",
+			sr.Name, len(sr.Samples), first.Value, first.Step, last.Value, last.Step)
+	}
+	return b.String()
+}
+
+func lastBound(bounds []float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
+// WriteSeriesJSONL writes every series as JSON Lines, one object per
+// sample: {"series":name,"step":s,"value":v}. Series are emitted in
+// name order, samples in append order.
+func (r *Registry) WriteSeriesJSONL(w io.Writer) error {
+	for _, sr := range r.Snapshot().Series {
+		for _, p := range sr.Samples {
+			line, err := json.Marshal(struct {
+				Series string  `json:"series"`
+				Step   int     `json:"step"`
+				Value  float64 `json:"value"`
+			}{sr.Name, p.Step, p.Value})
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes every series as CSV with a header row
+// (series,step,value), series in name order, samples in append order.
+func (r *Registry) WriteSeriesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,step,value"); err != nil {
+		return err
+	}
+	for _, sr := range r.Snapshot().Series {
+		for _, p := range sr.Samples {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.17g\n", sr.Name, p.Step, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

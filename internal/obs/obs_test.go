@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsFullyUsable pins the disabled state: every lookup on a
+// nil registry returns a nil instrument, and every instrument method
+// no-ops without panicking.
+func TestNilRegistryIsFullyUsable(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2})
+	s := r.Series("s")
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	h.Observe(0.5)
+	s.Append(1, 2.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || s.Len() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if h.Bounds() != nil || h.BucketCounts() != nil || s.Samples() != nil {
+		t.Fatal("nil instruments must read as empty")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Series) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if r.Summary() != "" {
+		t.Fatal("nil registry summary must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSeriesJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisabledCounterIsAllocationFree pins the hot-path budget: updating
+// instruments — enabled or nil — allocates nothing.
+func TestDisabledCounterIsAllocationFree(t *testing.T) {
+	var nilC *Counter
+	if allocs := testing.AllocsPerRun(200, func() { nilC.Add(1) }); allocs != 0 {
+		t.Fatalf("nil counter Add allocates %v/op", allocs)
+	}
+	r := New()
+	c := r.Counter("hot")
+	if allocs := testing.AllocsPerRun(200, func() { c.Add(1) }); allocs != 0 {
+		t.Fatalf("live counter Add allocates %v/op", allocs)
+	}
+	h := r.Histogram("hist", []float64{1, 10, 100})
+	if allocs := testing.AllocsPerRun(200, func() { h.Observe(5) }); allocs != 0 {
+		t.Fatalf("live histogram Observe allocates %v/op", allocs)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("evals")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 6 {
+		t.Fatalf("counter = %d, want 6", c.Value())
+	}
+	if r.Counter("evals") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("best")
+	g.Set(3.5)
+	g.Set(2.25)
+	if g.Value() != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	// Bounds deliberately unsorted: the constructor must sort them.
+	h := r.Histogram("lat", []float64{10, 1, 100})
+	for _, x := range []float64{0.5, 1, 5, 50, 500, 1000} {
+		h.Observe(x)
+	}
+	want := []int64{2, 1, 1, 2} // <=1, <=10, <=100, overflow
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d, want 6", h.Count())
+	}
+	if h.Sum() != 0.5+1+5+50+500+1000 {
+		t.Fatalf("sum %v", h.Sum())
+	}
+	if b := h.Bounds(); len(b) != 3 || b[0] != 1 || b[2] != 100 {
+		t.Fatalf("bounds %v", b)
+	}
+}
+
+func TestSeriesAppendOrder(t *testing.T) {
+	r := New()
+	s := r.Series("gbs.best")
+	s.Append(0, 9)
+	s.Append(1, 7)
+	s.Append(2, 7)
+	got := s.Samples()
+	if len(got) != 3 || got[0] != (Sample{0, 9}) || got[2] != (Sample{2, 7}) {
+		t.Fatalf("samples %v", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+// TestSnapshotSorted pins the determinism contract on the export side:
+// instruments registered in arbitrary order export in name order.
+func TestSnapshotSorted(t *testing.T) {
+	r := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Inc()
+		r.Gauge("g." + name).Set(1)
+		r.Histogram("h."+name, []float64{1}).Observe(0)
+		r.Series("s."+name).Append(0, 1)
+	}
+	s := r.Snapshot()
+	if s.Counters[0].Name != "alpha" || s.Counters[1].Name != "mid" || s.Counters[2].Name != "zeta" {
+		t.Fatalf("counters unsorted: %+v", s.Counters)
+	}
+	if s.Gauges[0].Name != "g.alpha" || s.Histograms[0].Name != "h.alpha" || s.Series[0].Name != "s.alpha" {
+		t.Fatal("sections unsorted")
+	}
+	// Byte-identical across repeated exports.
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("JSON export not reproducible")
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	r := New()
+	r.Counter("hits").Add(3)
+	r.Series("conv").Append(1, 2.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Counters) != 1 || decoded.Counters[0].Value != 3 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if len(decoded.Series) != 1 || decoded.Series[0].Samples[0] != (Sample{1, 2.5}) {
+		t.Fatalf("decoded series %+v", decoded.Series)
+	}
+}
+
+func TestSeriesExports(t *testing.T) {
+	r := New()
+	s := r.Series("genetic.best")
+	s.Append(0, 4)
+	s.Append(1, 3.5)
+
+	var jl bytes.Buffer
+	if err := r.WriteSeriesJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jl.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines: %q", jl.String())
+	}
+	var row struct {
+		Series string  `json:"series"`
+		Step   int     `json:"step"`
+		Value  float64 `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Series != "genetic.best" || row.Step != 1 || row.Value != 3.5 {
+		t.Fatalf("row %+v", row)
+	}
+
+	var csv bytes.Buffer
+	if err := r.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,step,value\ngenetic.best,0,4\ngenetic.best,1,3.5\n"
+	if csv.String() != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", csv.String(), want)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New()
+	r.Counter("search.memo.hits").Add(42)
+	r.Gauge("search.best").Set(1.5)
+	h := r.Histogram("batch.size", []float64{8, 64})
+	h.Observe(4)
+	h.Observe(100)
+	s := r.Series("conv")
+	s.Append(0, 9)
+	s.Append(5, 3)
+	out := r.Summary()
+	for _, want := range []string{"search.memo.hits", "42", "search.best", "batch.size", "n=2", "conv", "last 3 @5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentInstruments drives one registry from many goroutines
+// (run with -race in CI: search/obs share this requirement).
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%2) * 0.4)
+				r.Gauge("g").Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,8 +1,11 @@
 package search
 
 import (
+	"fmt"
+
 	"mheta/internal/cluster"
 	"mheta/internal/dist"
+	"mheta/internal/obs"
 )
 
 // GBS is the generalized binary search of the companion paper [26]: it
@@ -29,6 +32,12 @@ type GBS struct {
 	BytesPerElem int64
 	// Resolution is the discretisation of each leg (default 64).
 	Resolution int
+	// Obs, when non-nil, receives the memo's hit/miss counters and the
+	// convergence series: "search.gbs.best" (best score seen after each
+	// batch) plus one "search.gbs.legNN.best" series per spectrum leg
+	// (that leg's probe minimum per narrowing round). Observation only —
+	// never read back into the search.
+	Obs *obs.Registry
 }
 
 // Name implements Searcher.
@@ -56,6 +65,8 @@ func (g *GBS) Search(ev Evaluator, total int) Result {
 		res = 64
 	}
 	memo := NewMemo(ev)
+	memo.Observe(g.Obs)
+	sBest := g.Obs.Series("search.gbs.best")
 	anchors := dist.Anchors(total, g.Spec, g.BytesPerElem)
 
 	// Score every anchor in one batch (the memo collapses duplicates, so
@@ -72,6 +83,11 @@ func (g *GBS) Search(ev Evaluator, total int) Result {
 			bestT, best = anchorT[i], anchors[i].Dist.Clone()
 		}
 	}
+	// seenBest tracks the best score any batch produced — a pure
+	// observation for the convergence series; the algorithm's own best
+	// (bestT) still considers only anchors and the final scans.
+	seenBest := bestT
+	sBest.Append(0, seenBest)
 
 	// Collect the non-degenerate legs.
 	var legs []*gbsLeg
@@ -88,11 +104,19 @@ func (g *GBS) Search(ev Evaluator, total int) Result {
 
 	batchD := make([]dist.Distribution, 0, 3*len(legs))
 	batchT := make([]float64, 3*len(legs))
+	var sLegs []*obs.Series
+	if g.Obs != nil {
+		sLegs = make([]*obs.Series, len(legs))
+		for i := range legs {
+			sLegs[i] = g.Obs.Series(fmt.Sprintf("search.gbs.leg%02d.best", i))
+		}
+	}
 
 	// Ternary narrowing: every leg's span shrinks from w to w−w/3 each
 	// round regardless of which probe wins, so all legs stay in lockstep
 	// and each round is one 2·legs-wide batch.
-	for legs[0].hi-legs[0].lo > 2 {
+	rounds := 0
+	for round := 1; legs[0].hi-legs[0].lo > 2; round++ {
 		batchD = batchD[:0]
 		for _, l := range legs {
 			m1 := l.lo + (l.hi-l.lo)/3
@@ -106,7 +130,15 @@ func (g *GBS) Search(ev Evaluator, total int) Result {
 			} else {
 				l.lo = l.lo + (l.hi-l.lo)/3
 			}
+			if probeMin := min(batchT[2*i], batchT[2*i+1]); sLegs != nil {
+				sLegs[i].Append(round, probeMin)
+				if probeMin < seenBest {
+					seenBest = probeMin
+				}
+			}
 		}
+		sBest.Append(round, seenBest)
+		rounds = round
 	}
 
 	// Final scan: every leg's surviving ≤3 points in one batch.
@@ -122,5 +154,9 @@ func (g *GBS) Search(ev Evaluator, total int) Result {
 			bestT, best = batchT[i], d.Clone()
 		}
 	}
+	if bestT < seenBest {
+		seenBest = bestT
+	}
+	sBest.Append(rounds+1, seenBest)
 	return Result{Best: best, Time: bestT, Evaluations: memo.Evaluations(), Algorithm: g.Name()}
 }

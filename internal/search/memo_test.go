@@ -1,0 +1,355 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mheta/internal/cluster"
+	"mheta/internal/dist"
+	"mheta/internal/obs"
+)
+
+// panicEvaluator panics on one designated distribution and otherwise
+// scores by total element count.
+type panicEvaluator struct {
+	bad   uint64 // hash of the distribution to panic on
+	armed atomic.Bool
+	calls atomic.Int64
+}
+
+func (p *panicEvaluator) Evaluate(d dist.Distribution) float64 {
+	p.calls.Add(1)
+	if p.armed.Load() && d.Hash() == p.bad {
+		panic("panicEvaluator: injected failure")
+	}
+	return float64(d.Total())
+}
+
+// TestMemoBatchPanicDoesNotPoison pins the first half of the batch-memo
+// bugfix: before the rewrite, EvaluateBatchInto reserved in-batch keys
+// with a placeholder 0 in the table, so a panicking inner evaluator left
+// every key of the batch permanently memoised as zero. Now a panic must
+// unwind with the table exactly as it was, and a later evaluation of the
+// same keys must produce real scores.
+func TestMemoBatchPanicDoesNotPoison(t *testing.T) {
+	good := dist.Distribution{3, 5}
+	bad := dist.Distribution{6, 2}
+	ev := &panicEvaluator{bad: bad.Hash()}
+	ev.armed.Store(true)
+	m := NewMemo(ev)
+
+	batch := []dist.Distribution{good, bad}
+	out := make([]float64, len(batch))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected panic did not propagate")
+			}
+		}()
+		m.EvaluateBatchInto(out, batch)
+	}()
+
+	if m.Len() != 0 {
+		t.Fatalf("table holds %d entries after a panicked batch, want 0", m.Len())
+	}
+	if m.Evaluations() != 0 {
+		t.Fatalf("evaluations %d after a panicked batch, want 0", m.Evaluations())
+	}
+
+	// The memo must still work — and must not serve a poisoned zero.
+	ev.armed.Store(false)
+	if got := m.Evaluate(good); got != 8 {
+		t.Fatalf("good after panic = %v, want 8", got)
+	}
+	if got := m.Evaluate(bad); got != 8 {
+		t.Fatalf("bad after panic = %v, want 8", got)
+	}
+	m.EvaluateBatchInto(out, batch)
+	if out[0] != 8 || out[1] != 8 {
+		t.Fatalf("batch after panic = %v, want [8 8]", out)
+	}
+}
+
+// TestMemoSinglePanicDoesNotPoison is the same contract for the single
+// Evaluate path.
+func TestMemoSinglePanicDoesNotPoison(t *testing.T) {
+	bad := dist.Distribution{1, 7}
+	ev := &panicEvaluator{bad: bad.Hash()}
+	ev.armed.Store(true)
+	m := NewMemo(ev)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected panic did not propagate")
+			}
+		}()
+		m.Evaluate(bad)
+	}()
+	if m.Len() != 0 || m.Evaluations() != 0 {
+		t.Fatalf("len %d evals %d after panic, want 0 0", m.Len(), m.Evaluations())
+	}
+	ev.armed.Store(false)
+	if got := m.Evaluate(bad); got != 8 {
+		t.Fatalf("after panic = %v, want 8", got)
+	}
+}
+
+// TestMemoWaiterRecoversFromPanickedOwner pins the waiter side: a
+// goroutine waiting on a key whose owner panics must re-evaluate the key
+// itself rather than hang or read a zero.
+func TestMemoWaiterRecoversFromPanickedOwner(t *testing.T) {
+	bad := dist.Distribution{4, 4}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first := atomic.Bool{}
+	m := NewMemo(EvaluatorFunc(func(d dist.Distribution) float64 {
+		if first.CompareAndSwap(false, true) {
+			close(started)
+			<-release
+			panic("owner dies")
+		}
+		return float64(d.Total())
+	}))
+
+	ownerDone := make(chan struct{})
+	go func() {
+		defer func() {
+			recover()
+			close(ownerDone)
+		}()
+		m.Evaluate(bad)
+	}()
+	<-started
+
+	waiterDone := make(chan float64, 1)
+	go func() {
+		waiterDone <- m.Evaluate(bad)
+	}()
+	close(release)
+	<-ownerDone
+	if got := <-waiterDone; got != 8 {
+		t.Fatalf("waiter got %v, want 8 (re-evaluated after owner panic)", got)
+	}
+}
+
+// TestMemoConcurrentSharedUse drives one memo from concurrent single
+// evaluators and batch callers (run under -race in CI). Before the
+// rewrite every Evaluate serialized behind the whole batch because the
+// batch held the table lock across the inner evaluation; now the only
+// wait is on a key the batch is actually computing.
+func TestMemoConcurrentSharedUse(t *testing.T) {
+	var inner atomic.Int64
+	m := NewMemo(EvaluatorFunc(func(d dist.Distribution) float64 {
+		inner.Add(1)
+		return float64(d.Total()*3 + len(d))
+	}))
+	want := func(d dist.Distribution) float64 { return float64(d.Total()*3 + len(d)) }
+
+	mk := func(i int) dist.Distribution { return dist.Distribution{i, 2 * i, 64 - 3*i} }
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i := 0; i < 16; i++ {
+					d := mk((i + g) % 16)
+					if got := m.Evaluate(d); got != want(d) {
+						t.Errorf("Evaluate(%v) = %v, want %v", d, got, want(d))
+						return
+					}
+				}
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			ds := make([]dist.Distribution, 16)
+			out := make([]float64, 16)
+			for rep := 0; rep < 50; rep++ {
+				for i := range ds {
+					ds[i] = mk((2*i + g) % 16)
+				}
+				m.EvaluateBatchInto(out, ds)
+				for i := range ds {
+					if out[i] != want(ds[i]) {
+						t.Errorf("batch out[%d] = %v, want %v", i, out[i], want(ds[i]))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every distinct key is evaluated at most once per epoch; with no
+	// limit set there is one epoch, so at most 16 inner calls.
+	if inner.Load() > 16 {
+		t.Fatalf("%d inner evaluations for 16 distinct keys", inner.Load())
+	}
+	if m.Len() != 16 || m.Evaluations() != int(inner.Load()) {
+		t.Fatalf("len %d evals %d inner %d", m.Len(), m.Evaluations(), inner.Load())
+	}
+}
+
+// TestMemoEvictionLimit covers the epoch eviction and its counter.
+func TestMemoEvictionLimit(t *testing.T) {
+	var calls atomic.Int64
+	m := NewMemo(EvaluatorFunc(func(d dist.Distribution) float64 {
+		calls.Add(1)
+		return float64(d.Total())
+	}))
+	reg := obs.New()
+	m.Observe(reg)
+	m.SetLimit(3)
+	for i := 1; i <= 4; i++ {
+		m.Evaluate(dist.Distribution{i, i})
+	}
+	// The 4th publish grew the table to 4 > 3: everything evicted.
+	if m.Len() != 0 {
+		t.Fatalf("len %d after eviction, want 0", m.Len())
+	}
+	if m.Evictions() != 4 {
+		t.Fatalf("evictions %d, want 4", m.Evictions())
+	}
+	if got := reg.Counter("search.memo.evictions").Value(); got != 4 {
+		t.Fatalf("eviction counter %d, want 4", got)
+	}
+	// Re-seeing an evicted key is a fresh miss.
+	m.Evaluate(dist.Distribution{1, 1})
+	if calls.Load() != 5 || m.Evaluations() != 5 {
+		t.Fatalf("calls %d evals %d, want 5", calls.Load(), m.Evaluations())
+	}
+}
+
+// TestMemoObserveCounters checks hit/miss accounting on both paths.
+func TestMemoObserveCounters(t *testing.T) {
+	m := NewMemo(EvaluatorFunc(func(d dist.Distribution) float64 { return float64(d.Total()) }))
+	reg := obs.New()
+	m.Observe(reg)
+	d1, d2 := dist.Distribution{1, 2}, dist.Distribution{2, 1}
+	batch := []dist.Distribution{d1, d2, d1.Clone()}
+	out := make([]float64, 3)
+	m.EvaluateBatchInto(out, batch) // 2 misses + 1 in-batch duplicate hit
+	m.EvaluateBatchInto(out, batch) // 3 hits
+	m.Evaluate(d2)                  // 1 hit
+	m.Evaluate(dist.Distribution{3, 0})
+	hits := reg.Counter("search.memo.hits").Value()
+	misses := reg.Counter("search.memo.misses").Value()
+	if misses != 3 {
+		t.Fatalf("misses %d, want 3", misses)
+	}
+	if hits != 5 {
+		t.Fatalf("hits %d, want 5", hits)
+	}
+	if m.Evaluations() != 3 {
+		t.Fatalf("evaluations %d, want 3", m.Evaluations())
+	}
+}
+
+// TestPoolObserveWorkerShares checks the per-worker utilization counters
+// follow the deterministic i%workers stride.
+func TestPoolObserveWorkerShares(t *testing.T) {
+	ev := EvaluatorFunc(func(d dist.Distribution) float64 { return float64(d[0]) })
+	p := NewPool(ev, 3)
+	reg := obs.New()
+	p.Observe(reg)
+	ds := make([]dist.Distribution, 10)
+	for i := range ds {
+		ds[i] = dist.Distribution{i}
+	}
+	p.EvaluateBatchInto(make([]float64, 10), ds)
+	p.Evaluate(ds[0])
+	if got := reg.Counter("search.pool.evaluations").Value(); got != 11 {
+		t.Fatalf("evaluations %d, want 11", got)
+	}
+	if got := reg.Counter("search.pool.batches").Value(); got != 1 {
+		t.Fatalf("batches %d, want 1", got)
+	}
+	// 10 elements over 3 workers: strides of 4 (0,3,6,9), 3, 3; worker 0
+	// also took the single Evaluate.
+	for i, want := range []int64{5, 3, 3} {
+		if got := reg.Counter(poolWorkerName(i)).Value(); got != want {
+			t.Fatalf("worker %d evals %d, want %d", i, got, want)
+		}
+	}
+}
+
+func poolWorkerName(i int) string {
+	return []string{"search.pool.worker.00.evals", "search.pool.worker.01.evals", "search.pool.worker.02.evals"}[i]
+}
+
+// TestSearcherConvergenceSeries asserts every searcher emits a
+// non-increasing best-score series whose final value equals the result,
+// and that observation does not change the result (metrics stay outside
+// the evaluated values).
+func TestSearcherConvergenceSeries(t *testing.T) {
+	ev := loadImbalanceEvaluator(hy1Speeds())
+	mk := func(reg *obs.Registry) []Searcher {
+		return []Searcher{
+			&Genetic{N: 8, Seed: 9, Obs: reg},
+			&Annealing{N: 8, Seed: 9, Fan: 2, Obs: reg},
+			&Random{N: 8, Seed: 9, Obs: reg},
+		}
+	}
+	plain := mk(nil)
+	reg := obs.New()
+	observed := mk(reg)
+	for i := range plain {
+		want := plain[i].Search(ev, searchTotal)
+		got := observed[i].Search(ev, searchTotal)
+		if !want.Best.Equal(got.Best) || want.Time != got.Time || want.Evaluations != got.Evaluations {
+			t.Errorf("%s: observation changed the result: %+v vs %+v", plain[i].Name(), want, got)
+		}
+		name := "search." + plain[i].Name() + ".best"
+		samples := reg.Series(name).Samples()
+		if len(samples) < 2 {
+			t.Fatalf("%s: %d samples", name, len(samples))
+		}
+		for j := 1; j < len(samples); j++ {
+			if samples[j].Value > samples[j-1].Value {
+				t.Errorf("%s: series increased at %d: %v -> %v", name, j, samples[j-1].Value, samples[j].Value)
+			}
+			if samples[j].Step <= samples[j-1].Step {
+				t.Errorf("%s: steps not increasing at %d", name, j)
+			}
+		}
+		if last := samples[len(samples)-1].Value; last != got.Time {
+			t.Errorf("%s: final sample %v != result time %v", name, last, got.Time)
+		}
+	}
+}
+
+// TestGBSConvergenceSeries covers GBS separately: its overall series
+// tracks "best seen in any batch" (probes included), so it must be
+// non-increasing and end at or below the result time, and each
+// non-degenerate leg must have a per-round series.
+func TestGBSConvergenceSeries(t *testing.T) {
+	ev := loadImbalanceEvaluator(hy1Speeds())
+	reg := obs.New()
+	g := &GBS{Spec: cluster.HY1(8), BytesPerElem: 4096, Obs: reg}
+	plain := &GBS{Spec: g.Spec, BytesPerElem: g.BytesPerElem}
+	want := plain.Search(ev, searchTotal)
+	got := g.Search(ev, searchTotal)
+	if !want.Best.Equal(got.Best) || want.Time != got.Time || want.Evaluations != got.Evaluations {
+		t.Fatalf("observation changed the result: %+v vs %+v", want, got)
+	}
+	samples := reg.Series("search.gbs.best").Samples()
+	if len(samples) < 3 {
+		t.Fatalf("gbs best series has %d samples", len(samples))
+	}
+	for j := 1; j < len(samples); j++ {
+		if samples[j].Value > samples[j-1].Value {
+			t.Fatalf("gbs best series increased at %d", j)
+		}
+	}
+	if last := samples[len(samples)-1].Value; last > got.Time {
+		t.Fatalf("final best-seen %v above result time %v", last, got.Time)
+	}
+	if reg.Series("search.gbs.leg00.best").Len() == 0 {
+		t.Fatal("no per-leg series recorded")
+	}
+	if reg.Counter("search.memo.misses").Value() != int64(got.Evaluations) {
+		t.Fatalf("memo miss counter %d != evaluations %d",
+			reg.Counter("search.memo.misses").Value(), got.Evaluations)
+	}
+}

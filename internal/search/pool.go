@@ -1,11 +1,13 @@
 package search
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"mheta/internal/dist"
+	"mheta/internal/obs"
 )
 
 // BatchEvaluator is an Evaluator that can score many candidates at once.
@@ -42,6 +44,13 @@ type CloneableEvaluator interface {
 // batch and a single-worker Pool evaluates inline.
 type Pool struct {
 	evs []Evaluator
+
+	// Observability (nil when unobserved; see Observe). Worker
+	// "utilization" is the per-worker share of batch evaluations — a pure
+	// count, since wall clocks are banned in this package.
+	obsBatches *obs.Counter
+	obsEvals   *obs.Counter
+	obsWorker  []*obs.Counter
 }
 
 // NewPool builds a pool of n workers over ev. n <= 0 selects
@@ -64,11 +73,33 @@ func NewPool(ev Evaluator, n int) *Pool {
 	return &Pool{evs: evs}
 }
 
+// Observe registers the pool's instruments on r: batch and evaluation
+// counters plus one counter per worker (its evaluation share). Metrics
+// are observations only — they never influence scheduling, which stays
+// the deterministic i%workers stride. A nil registry disables them.
+func (p *Pool) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p.obsBatches = r.Counter("search.pool.batches")
+	p.obsEvals = r.Counter("search.pool.evaluations")
+	p.obsWorker = make([]*obs.Counter, len(p.evs))
+	for i := range p.evs {
+		p.obsWorker[i] = r.Counter(fmt.Sprintf("search.pool.worker.%02d.evals", i))
+	}
+}
+
 // Workers reports the worker count.
 func (p *Pool) Workers() int { return len(p.evs) }
 
 // Evaluate implements Evaluator on worker 0.
-func (p *Pool) Evaluate(d dist.Distribution) float64 { return p.evs[0].Evaluate(d) }
+func (p *Pool) Evaluate(d dist.Distribution) float64 {
+	if p.obsWorker != nil {
+		p.obsEvals.Inc()
+		p.obsWorker[0].Inc()
+	}
+	return p.evs[0].Evaluate(d)
+}
 
 // EvaluateBatch scores each candidate and returns the results in input
 // order. See EvaluateBatchInto for the allocation-free variant.
@@ -88,6 +119,13 @@ func (p *Pool) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
 	w := len(p.evs)
 	if w > len(ds) {
 		w = len(ds)
+	}
+	if p.obsWorker != nil && len(ds) > 0 {
+		p.obsBatches.Inc()
+		p.obsEvals.Add(int64(len(ds)))
+		for k := 0; k < w; k++ {
+			p.obsWorker[k].Add(int64(strideLen(len(ds), k, w)))
+		}
 	}
 	if w <= 1 {
 		if len(ds) > 0 {
@@ -112,6 +150,15 @@ func evalStride(ev Evaluator, out []float64, ds []dist.Distribution, start, stri
 	}
 }
 
+// strideLen counts the elements worker start handles in a batch of n with
+// the given stride.
+func strideLen(n, start, stride int) int {
+	if start >= n {
+		return 0
+	}
+	return (n-start-1)/stride + 1
+}
+
 // Memo is a thread-safe memoising evaluator keyed by the cheap 64-bit
 // dist.Distribution.Hash. It replaces the allocating String()-keyed memo
 // the serial GBS carried: hits cost two map operations and zero
@@ -120,49 +167,153 @@ func evalStride(ev Evaluator, out []float64, ds []dist.Distribution, start, stri
 // (concurrently, when the inner evaluator is a Pool), and counts exactly
 // the fresh evaluations — so Evaluations is identical for any worker
 // count.
+//
+// Publication is strictly after evaluation: a key being scored is held as
+// a pending entry (never a placeholder value in the table), so a
+// panicking inner evaluator unwinds without poisoning the table — the
+// pending entries are rolled back and concurrent waiters retry the
+// evaluation themselves. Single Evaluate calls never block behind a
+// running batch unless they need a key that batch is computing; two
+// concurrent batch calls serialize against each other (the orchestrated
+// searchers only ever issue one batch at a time).
 type Memo struct {
-	mu     sync.RWMutex
-	table  map[uint64]float64
-	single Evaluator
-	batch  BatchEvaluator // non-nil when single supports batching
-	misses atomic.Int64
+	mu      sync.RWMutex
+	table   map[uint64]float64
+	pending map[uint64]*memoPending
+	single  Evaluator
+	batch   BatchEvaluator // non-nil when single supports batching
+	misses  atomic.Int64
 
-	// batch scratch, guarded by mu; reused so fully-memoised batches
-	// allocate nothing.
-	hashes []uint64
-	freshD []dist.Distribution
-	freshH []uint64
-	freshT []float64
+	// limit, when positive, bounds the table: the epoch after a publish
+	// grows past limit entries, the whole table is cleared (deterministic
+	// for a deterministic batch sequence — eviction depends only on
+	// insertion history, never on goroutine timing).
+	limit     int
+	evictions atomic.Int64
+
+	// Observability (nil when unobserved; see Observe).
+	obsHits, obsMisses, obsEvict *obs.Counter
+
+	// batchMu serializes EvaluateBatchInto calls and guards the scratch
+	// below, which is reused so fully-memoised batches allocate nothing.
+	// Single Evaluate calls never take it.
+	batchMu  sync.Mutex
+	freshD   []dist.Distribution
+	freshH   []uint64
+	freshT   []float64
+	freshOut []int          // out index of each fresh candidate's first occurrence
+	ownP     []*memoPending // pending entries this batch registered
+	waitIdx  []int          // out indexes waiting on pending entries
+	waitP    []*memoPending // the entries those indexes wait on
+}
+
+// memoPending marks a key whose evaluation is in flight. The owner sets
+// val and ok before closing done; ok stays false when the owner's
+// evaluation panicked, telling waiters to retry for ownership instead of
+// consuming a poisoned zero.
+type memoPending struct {
+	done chan struct{}
+	val  float64
+	ok   bool
 }
 
 // NewMemo wraps ev (batch-aware when it implements BatchEvaluator) with a
 // fresh memo table.
 func NewMemo(ev Evaluator) *Memo {
-	m := &Memo{table: make(map[uint64]float64), single: ev}
+	m := &Memo{
+		table:   make(map[uint64]float64),
+		pending: make(map[uint64]*memoPending),
+		single:  ev,
+	}
 	if be, ok := ev.(BatchEvaluator); ok {
 		m.batch = be
 	}
 	return m
 }
 
+// Observe registers the memo's hit/miss/eviction counters on r. A nil
+// registry disables them (the default); the disabled cost on the warm
+// path is one nil check.
+func (m *Memo) Observe(r *obs.Registry) {
+	m.obsHits = r.Counter("search.memo.hits")
+	m.obsMisses = r.Counter("search.memo.misses")
+	m.obsEvict = r.Counter("search.memo.evictions")
+}
+
+// SetLimit bounds the memo table to n entries (0, the default, is
+// unbounded). When a publish grows the table past n, the whole table is
+// evicted — an epoch clear, the only policy whose outcome is a function
+// of the insertion sequence alone. Evicted keys re-count as misses if
+// re-evaluated, so set a limit only when memory matters more than a
+// stable Evaluations figure.
+func (m *Memo) SetLimit(n int) {
+	m.mu.Lock()
+	m.limit = n
+	m.mu.Unlock()
+}
+
+// maybeEvictLocked applies the table bound; the caller holds mu.
+func (m *Memo) maybeEvictLocked() {
+	if m.limit <= 0 || len(m.table) <= m.limit {
+		return
+	}
+	n := len(m.table)
+	clear(m.table)
+	m.evictions.Add(int64(n))
+	m.obsEvict.Add(int64(n))
+}
+
 // Evaluate implements Evaluator with memoisation.
 func (m *Memo) Evaluate(d dist.Distribution) float64 {
 	h := d.Hash()
-	m.mu.RLock()
-	t, ok := m.table[h]
-	m.mu.RUnlock()
-	if ok {
-		return t
+	for {
+		m.mu.RLock()
+		t, ok := m.table[h]
+		m.mu.RUnlock()
+		if ok {
+			m.obsHits.Inc()
+			return t
+		}
+		m.mu.Lock()
+		if t, ok := m.table[h]; ok {
+			m.mu.Unlock()
+			m.obsHits.Inc()
+			return t
+		}
+		if p, ok := m.pending[h]; ok {
+			// Someone else is evaluating this key right now; wait for the
+			// publish instead of duplicating the work.
+			m.mu.Unlock()
+			<-p.done
+			if p.ok {
+				m.obsHits.Inc()
+				return p.val
+			}
+			continue // the owner panicked; retry for ownership
+		}
+		p := &memoPending{done: make(chan struct{})}
+		m.pending[h] = p
+		m.mu.Unlock()
+
+		// Evaluate outside every lock; publish after, roll back on panic.
+		func() {
+			defer func() {
+				m.mu.Lock()
+				delete(m.pending, h)
+				if p.ok {
+					m.table[h] = p.val
+					m.maybeEvictLocked()
+				}
+				m.mu.Unlock()
+				close(p.done)
+			}()
+			p.val = m.single.Evaluate(d)
+			p.ok = true
+		}()
+		m.misses.Add(1)
+		m.obsMisses.Inc()
+		return p.val
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if t, ok := m.table[h]; ok {
-		return t
-	}
-	t = m.single.Evaluate(d)
-	m.misses.Add(1)
-	m.table[h] = t
-	return t
 }
 
 // EvaluateBatch scores each candidate (memoised) and returns the results
@@ -175,51 +326,128 @@ func (m *Memo) EvaluateBatch(ds []dist.Distribution) []float64 {
 
 // EvaluateBatchInto implements BatchEvaluator. Only candidates absent
 // from the table are forwarded to the inner evaluator, each distinct
-// distribution at most once per batch.
+// distribution at most once per batch. The inner evaluation runs with no
+// memo lock held, so concurrent Evaluate callers on a shared memo are
+// delayed only if they ask for a key this batch is computing.
 func (m *Memo) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
 	if len(out) != len(ds) {
 		panic("search: batch output length mismatch")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.hashes = m.hashes[:0]
+	if len(ds) == 0 {
+		return
+	}
+	m.batchMu.Lock()
+	defer m.batchMu.Unlock()
 	m.freshD = m.freshD[:0]
 	m.freshH = m.freshH[:0]
-	for _, d := range ds {
+	m.freshOut = m.freshOut[:0]
+	m.ownP = m.ownP[:0]
+	m.waitIdx = m.waitIdx[:0]
+	m.waitP = m.waitP[:0]
+
+	// Classify under one lock: table hits resolve immediately, keys being
+	// evaluated elsewhere (or duplicated within this batch) are waited on
+	// after our own work, the rest we claim as pending.
+	m.mu.Lock()
+	hits := 0
+	for i, d := range ds {
 		h := d.Hash()
-		m.hashes = append(m.hashes, h)
-		if _, ok := m.table[h]; ok {
+		if t, ok := m.table[h]; ok {
+			out[i] = t
+			hits++
 			continue
 		}
-		// Reserve the key so an in-batch duplicate is evaluated once; the
-		// placeholder is overwritten below before the lock is released.
-		m.table[h] = 0
+		if p, ok := m.pending[h]; ok {
+			m.waitIdx = append(m.waitIdx, i)
+			m.waitP = append(m.waitP, p)
+			continue
+		}
+		p := &memoPending{done: make(chan struct{})}
+		m.pending[h] = p
+		m.ownP = append(m.ownP, p)
 		m.freshD = append(m.freshD, d)
 		m.freshH = append(m.freshH, h)
+		m.freshOut = append(m.freshOut, i)
 	}
+	m.mu.Unlock()
+	if hits > 0 {
+		m.obsHits.Add(int64(hits))
+	}
+
 	if len(m.freshD) > 0 {
 		if cap(m.freshT) < len(m.freshD) {
 			m.freshT = make([]float64, len(m.freshD))
 		}
 		m.freshT = m.freshT[:len(m.freshD)]
-		if m.batch != nil {
-			m.batch.EvaluateBatchInto(m.freshT, m.freshD)
-		} else {
-			evalStride(m.single, m.freshT, m.freshD, 0, 1)
-		}
+		published := false
+		func() {
+			defer func() {
+				if published {
+					return
+				}
+				// The inner evaluator panicked: withdraw our claims so the
+				// table keeps no trace of this batch, and wake waiters with
+				// ok=false so they re-evaluate rather than read zeros.
+				m.mu.Lock()
+				for _, h := range m.freshH {
+					delete(m.pending, h)
+				}
+				m.mu.Unlock()
+				for _, p := range m.ownP {
+					close(p.done)
+				}
+			}()
+			if m.batch != nil {
+				m.batch.EvaluateBatchInto(m.freshT, m.freshD)
+			} else {
+				evalStride(m.single, m.freshT, m.freshD, 0, 1)
+			}
+			// Publish after evaluating: values enter the table complete or
+			// not at all.
+			m.mu.Lock()
+			for i, h := range m.freshH {
+				m.table[h] = m.freshT[i]
+				delete(m.pending, h)
+			}
+			m.mu.Unlock()
+			for i, p := range m.ownP {
+				p.val, p.ok = m.freshT[i], true
+				close(p.done)
+			}
+			published = true
+		}()
 		m.misses.Add(int64(len(m.freshD)))
-		for i, h := range m.freshH {
-			m.table[h] = m.freshT[i]
+		m.obsMisses.Add(int64(len(m.freshD)))
+		for i, o := range m.freshOut {
+			out[o] = m.freshT[i]
 		}
 	}
-	for i, h := range m.hashes {
-		out[i] = m.table[h]
+
+	// Resolve the waited keys last: in-batch duplicates (owned by us,
+	// already published above) and keys concurrent callers were computing.
+	// A failed owner means we evaluate the key ourselves.
+	for j, p := range m.waitP {
+		<-p.done
+		if p.ok {
+			out[m.waitIdx[j]] = p.val
+			m.obsHits.Inc()
+		} else {
+			out[m.waitIdx[j]] = m.Evaluate(ds[m.waitIdx[j]])
+		}
 	}
+
+	m.mu.Lock()
+	m.maybeEvictLocked()
+	m.mu.Unlock()
 }
 
 // Evaluations reports how many inner (non-memoised) evaluations were
 // performed.
 func (m *Memo) Evaluations() int { return int(m.misses.Load()) }
+
+// Evictions reports how many table entries the SetLimit bound has
+// discarded.
+func (m *Memo) Evictions() int { return int(m.evictions.Load()) }
 
 // Len reports the number of memoised distributions.
 func (m *Memo) Len() int {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mheta/internal/dist"
+	"mheta/internal/obs"
 	"mheta/internal/vclock"
 )
 
@@ -17,6 +18,9 @@ type Random struct {
 	N      int // node count to distribute over
 	Budget int
 	Seed   uint64
+	// Obs, when non-nil, receives the "search.random.best" convergence
+	// series (best score after each evaluated chunk).
+	Obs *obs.Registry
 }
 
 // Name implements Searcher.
@@ -33,10 +37,12 @@ func (r *Random) Search(ev Evaluator, total int) Result {
 		budget = 256
 	}
 	cev := newCounter(ev)
+	sBest := r.Obs.Series("search.random.best")
 	nz := vclock.NewNoise(r.Seed^0xAAD0, 0)
 	n := r.N
 	best := dist.Block(total, n)
 	bestT := cev.eval(best)
+	sBest.Append(0, bestT)
 	ds := make([]dist.Distribution, 0, randomChunk)
 	ts := make([]float64, randomChunk)
 	for remaining := budget - 1; remaining > 0; {
@@ -55,6 +61,7 @@ func (r *Random) Search(ev Evaluator, total int) Result {
 			}
 		}
 		remaining -= k
+		sBest.Append(budget-1-remaining, bestT)
 	}
 	return Result{Best: best, Time: bestT, Evaluations: cev.count(), Algorithm: r.Name()}
 }
@@ -71,6 +78,9 @@ type Genetic struct {
 	Generations int
 	MutateP     float64
 	Seed        uint64
+	// Obs, when non-nil, receives the "search.genetic.best" convergence
+	// series (the elite's score after each generation).
+	Obs *obs.Registry
 }
 
 // Name implements Searcher.
@@ -96,6 +106,7 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 		mp = 0.3
 	}
 	cev := newCounter(ev)
+	sBest := g.Obs.Series("search.genetic.best")
 	nz := vclock.NewNoise(g.Seed^0x6E7E, 0)
 
 	cur := make([]scored, 0, pop)
@@ -113,6 +124,7 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 		cur[i].t = ts[i]
 	}
 	sort.Slice(cur, func(i, j int) bool { return cur[i].t < cur[j].t })
+	sBest.Append(0, cur[0].t)
 
 	tournament := func() dist.Distribution {
 		a, b := nz.Intn(len(cur)), nz.Intn(len(cur))
@@ -153,6 +165,7 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 		}
 		cur = next
 		sort.Slice(cur, func(i, j int) bool { return cur[i].t < cur[j].t })
+		sBest.Append(gen+1, cur[0].t)
 	}
 	return Result{Best: cur[0].d.Clone(), Time: cur[0].t, Evaluations: cev.count(), Algorithm: g.Name()}
 }
@@ -196,6 +209,9 @@ type Annealing struct {
 	// Fan is the speculative neighbour count per step (default 1).
 	Fan  int
 	Seed uint64
+	// Obs, when non-nil, receives the "search.annealing.best" convergence
+	// series (best score after each step).
+	Obs *obs.Registry
 }
 
 // Name implements Searcher.
@@ -220,11 +236,13 @@ func (a *Annealing) Search(ev Evaluator, total int) Result {
 		fan = 1
 	}
 	cev := newCounter(ev)
+	sBest := a.Obs.Series("search.annealing.best")
 	nz := vclock.NewNoise(a.Seed^0x5AEA, 0)
 
 	cur := dist.Block(total, a.N)
 	curT := cev.eval(cur)
 	best, bestT := cur.Clone(), curT
+	sBest.Append(0, bestT)
 	temp := t0 * curT
 	ds := make([]dist.Distribution, fan)
 	for i := range ds {
@@ -253,6 +271,7 @@ func (a *Annealing) Search(ev Evaluator, total int) Result {
 			}
 		}
 		temp *= cool
+		sBest.Append(s+1, bestT)
 	}
 	return Result{Best: best, Time: bestT, Evaluations: cev.count(), Algorithm: a.Name()}
 }

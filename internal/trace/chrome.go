@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mheta/internal/vclock"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (the "JSON Array Format" Perfetto and chrome://tracing both load).
+// Field order here fixes the key order in the output; timestamps and
+// durations are microseconds of virtual time.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`
+	Dur  *float64    `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	ID   int         `json:"id,omitempty"`
+	BP   string      `json:"bp,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries event metadata; a struct (not a map) so emission
+// order is fixed.
+type chromeArgs struct {
+	Name string `json:"name,omitempty"`
+	Peer *int   `json:"peer,omitempty"` // pointer so sender rank 0 still emits
+}
+
+// chromeUS converts virtual seconds to trace microseconds.
+func chromeUS(t vclock.Time) float64 { return float64(t) * 1e6 }
+
+// phaseOrder ranks event phases so metadata sorts before spans and a
+// flow step at the same timestamp sorts after the span that emits it.
+func phaseOrder(ph string) int {
+	switch ph {
+	case "M":
+		return 0
+	case "X":
+		return 1
+	case "s":
+		return 2
+	case "f":
+		return 3
+	default:
+		return 4
+	}
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON: one "X"
+// (complete) event per span with cat = the span kind, thread-name
+// metadata mapping tid→rank, and an "s"/"f" flow arrow from the sender's
+// timeline into every blocked receive that recorded its peer — so
+// Perfetto draws the message dependency the rank stalled on.
+//
+// Output is deterministic: events are emitted sorted by (tid, ts, phase,
+// name), which also guarantees non-decreasing timestamps within every
+// rank's timeline, and all JSON objects serialise with fixed key order.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans() // (rank, start)-sorted
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+		if s.Peer > 0 {
+			ranks[s.PeerRank()] = true
+		}
+	}
+
+	events := make([]chromeEvent, 0, 2*len(spans)+len(ranks)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 0, TID: 0,
+		Args: &chromeArgs{Name: "mheta emulation"},
+	})
+	for r := range ranks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: r,
+			Args: &chromeArgs{Name: fmt.Sprintf("rank %d", r)},
+		})
+	}
+
+	flowID := 0
+	for _, s := range spans {
+		dur := chromeUS(s.End) - chromeUS(s.Start)
+		ev := chromeEvent{
+			Name: s.Label, Cat: s.Kind.String(), Ph: "X",
+			TS: chromeUS(s.Start), Dur: &dur, PID: 0, TID: s.Rank,
+		}
+		if s.Label == "" {
+			ev.Name = s.Kind.String()
+		}
+		if s.Peer > 0 {
+			peer := s.PeerRank()
+			ev.Args = &chromeArgs{Peer: &peer}
+		}
+		events = append(events, ev)
+		if s.Kind == SpanBlocked && s.Peer > 0 {
+			// Flow arrow: starts on the sender's timeline when the wait
+			// begins, finishes on the blocked rank when the message lands.
+			flowID++
+			events = append(events,
+				chromeEvent{Name: "msg", Cat: "blocked", Ph: "s",
+					TS: chromeUS(s.Start), PID: 0, TID: s.PeerRank(), ID: flowID},
+				chromeEvent{Name: "msg", Cat: "blocked", Ph: "f", BP: "e",
+					TS: chromeUS(s.End), PID: 0, TID: s.Rank, ID: flowID},
+			)
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if pa, pb := phaseOrder(a.Ph), phaseOrder(b.Ph); pa != pb {
+			return pa < pb
+		}
+		return a.Name < b.Name
+	})
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "  %s%s", line, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// RankStat aggregates one rank's timeline for the end-of-run summary.
+type RankStat struct {
+	Rank    int
+	Section vclock.Duration // time inside parallel sections
+	Blocked vclock.Duration // time waiting on messages/prefetches
+	IO      vclock.Duration // time in synchronous file traffic
+	Spans   int
+}
+
+// Stats aggregates per-rank section/blocked/I/O time over ranks 0..n-1,
+// in rank order.
+func (t *Trace) Stats(n int) []RankStat {
+	out := make([]RankStat, n)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for _, s := range t.Spans() {
+		if s.Rank < 0 || s.Rank >= n {
+			continue
+		}
+		st := &out[s.Rank]
+		st.Spans++
+		switch s.Kind {
+		case SpanSection:
+			st.Section += s.Duration()
+		case SpanBlocked:
+			st.Blocked += s.Duration()
+		case SpanIO:
+			st.IO += s.Duration()
+		}
+	}
+	return out
+}
+
+// SummaryTable renders Stats(n) as an aligned text table.
+func (t *Trace) SummaryTable(n int) string {
+	out := "rank   section    blocked         io  spans\n"
+	for _, st := range t.Stats(n) {
+		out += fmt.Sprintf("%4d %9.4f  %9.4f  %9.4f  %5d\n",
+			st.Rank, float64(st.Section), float64(st.Blocked), float64(st.IO), st.Spans)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mheta/internal/apps"
+	"mheta/internal/cluster"
+	"mheta/internal/dist"
+	"mheta/internal/exec"
+	"mheta/internal/mpi"
+	"mheta/internal/trace"
+)
+
+// goldenTrace builds a small hand-made trace exercising every event kind
+// the exporter emits: labeled and unlabeled spans, all four span kinds,
+// and a blocked receive with a recorded peer (which adds a flow arrow).
+func goldenTrace() *trace.Trace {
+	tr := trace.New()
+	tr.Add(trace.Span{Rank: 0, Kind: trace.SpanSection, Label: "S0", Start: 0, End: 1})
+	tr.Add(trace.Span{Rank: 0, Kind: trace.SpanIO, Label: "B", Start: 0.25, End: 0.5})
+	tr.Add(trace.Span{Rank: 1, Kind: trace.SpanSection, Label: "S0", Start: 0, End: 0.5})
+	tr.Add(trace.Span{Rank: 1, Kind: trace.SpanStage, Label: "S0/T0/st1", Start: 0.1, End: 0.3})
+	// Blocked on a message from rank 0 (Peer is 1+sender).
+	tr.Add(trace.Span{Rank: 1, Kind: trace.SpanBlocked, Label: "Recv", Start: 0.5, End: 1, Peer: 1})
+	// Unlabeled span: the exporter names it after its kind.
+	tr.Add(trace.Span{Rank: 2, Kind: trace.SpanBlocked, Start: 0, End: 0.125})
+	return tr
+}
+
+// TestWriteChromeGolden pins the exporter's exact output. Regenerate
+// with -update when the format changes intentionally.
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// And it must be reproducible byte-for-byte.
+	var again bytes.Buffer
+	if err := goldenTrace().WriteChrome(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("chrome export not deterministic across calls")
+	}
+}
+
+// chromeEvent mirrors the exporter's JSON for decoding in tests.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	ID   int     `json:"id"`
+	BP   string  `json:"bp"`
+}
+
+// TestWriteChromePerfettoSanity runs a real emulation and checks the
+// export satisfies what Perfetto's JSON importer requires: a valid JSON
+// array, every event carrying a phase, and per-thread timestamps
+// monotonically non-decreasing.
+func TestWriteChromePerfettoSanity(t *testing.T) {
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 512, 64, 2
+	app := apps.NewJacobi(cfg)
+	tr := trace.New()
+	w := mpi.NewWorld(cluster.IO(8), 1, 0.02)
+	if _, err := exec.Run(w, app, dist.Block(cfg.Rows, 8), exec.Options{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not a valid JSON array: %v", err)
+	}
+	if len(events) < 8 {
+		t.Fatalf("only %d events from an 8-rank run", len(events))
+	}
+	lastTS := map[int]float64{}
+	kinds := map[string]int{}
+	flows := map[int][]string{}
+	for i, ev := range events {
+		if ev.Ph == "" {
+			t.Fatalf("event %d has no phase: %+v", i, ev)
+		}
+		if ev.TS < 0 || (ev.Ph == "X" && ev.Dur < 0) {
+			t.Fatalf("event %d has negative time: %+v", i, ev)
+		}
+		if prev, ok := lastTS[ev.TID]; ok && ev.TS < prev {
+			t.Fatalf("tid %d timestamps regress at event %d: %v -> %v", ev.TID, i, prev, ev.TS)
+		}
+		lastTS[ev.TID] = ev.TS
+		kinds[ev.Cat]++
+		if ev.Ph == "s" || ev.Ph == "f" {
+			flows[ev.ID] = append(flows[ev.ID], ev.Ph)
+		}
+	}
+	for _, want := range []string{"section", "io", "blocked"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events in an IO-cluster run", want)
+		}
+	}
+	// Every flow id must pair one start with one finish.
+	for id, phs := range flows {
+		if len(phs) != 2 {
+			t.Errorf("flow %d has %d endpoints", id, len(phs))
+		}
+	}
+}
+
+// TestGanttDegenerateInputs is the table test for the edge cases that
+// used to panic or mislead: negative/zero rank counts (make panicked),
+// non-positive widths (reported "empty trace" for a non-empty one), and
+// all-zero-duration spans (divide-by-zero scaling).
+func TestGanttDegenerateInputs(t *testing.T) {
+	one := trace.New()
+	one.Add(trace.Span{Rank: 0, Kind: trace.SpanSection, Label: "S0", Start: 0, End: 1})
+	zeroDur := trace.New()
+	zeroDur.Add(trace.Span{Rank: 0, Kind: trace.SpanSection, Label: "S0", Start: 0, End: 0})
+	cases := []struct {
+		name         string
+		tr           *trace.Trace
+		ranks, width int
+		want         string
+	}{
+		{"empty", trace.New(), 4, 40, "(empty trace)"},
+		{"empty beats other degeneracies", trace.New(), -1, 0, "(empty trace)"},
+		{"negative ranks", one, -3, 40, "(no ranks)"},
+		{"zero ranks", one, 0, 40, "(no ranks)"},
+		{"zero width", one, 4, 0, "(zero-width chart)"},
+		{"negative width", one, 4, -10, "(zero-width chart)"},
+		{"all spans zero-length", zeroDur, 1, 40, "(zero-length trace)"},
+		{"width one still renders", one, 1, 1, "rank  0"},
+	}
+	for _, tc := range cases {
+		out := tc.tr.Gantt(tc.ranks, tc.width)
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s: Gantt(%d, %d) = %q, want it to contain %q",
+				tc.name, tc.ranks, tc.width, out, tc.want)
+		}
+	}
+	// A zero-duration span inside a non-degenerate trace must render too.
+	mixed := trace.New()
+	mixed.Add(trace.Span{Rank: 0, Kind: trace.SpanSection, Label: "S0", Start: 0, End: 2})
+	mixed.Add(trace.Span{Rank: 1, Kind: trace.SpanSection, Label: "S1", Start: 1, End: 1})
+	if out := mixed.Gantt(2, 30); !strings.Contains(out, "rank  1") {
+		t.Errorf("zero-duration span broke rendering:\n%s", out)
+	}
+}
+
+// TestStatsAndSummaryTable covers the per-rank aggregation feeding the
+// cmd end-of-run summaries.
+func TestStatsAndSummaryTable(t *testing.T) {
+	tr := goldenTrace()
+	stats := tr.Stats(2) // rank 2 deliberately outside the window
+	if len(stats) != 2 {
+		t.Fatalf("%d stats", len(stats))
+	}
+	if stats[0].Section != 1 || stats[0].IO != 0.25 || stats[0].Blocked != 0 {
+		t.Fatalf("rank 0 stats %+v", stats[0])
+	}
+	if stats[1].Section != 0.5 || stats[1].Blocked != 0.5 || stats[1].Spans != 3 {
+		t.Fatalf("rank 1 stats %+v", stats[1])
+	}
+	table := tr.SummaryTable(2)
+	if !strings.Contains(table, "rank") || strings.Count(table, "\n") != 3 {
+		t.Fatalf("table:\n%s", table)
+	}
+}
+
+// TestPeerRank pins the +1 bias round-trip.
+func TestPeerRank(t *testing.T) {
+	if (trace.Span{}).PeerRank() != -1 {
+		t.Fatal("zero-value span must report no peer")
+	}
+	if (trace.Span{Peer: 1}).PeerRank() != 0 {
+		t.Fatal("Peer 1 must mean rank 0")
+	}
+}

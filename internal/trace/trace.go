@@ -56,7 +56,14 @@ type Span struct {
 	Kind       Kind
 	Label      string // e.g. "S0", "S0/T2/st1", variable name for IO
 	Start, End vclock.Time
+	// Peer, when non-zero, is 1 + the rank this span waited on (blocked
+	// receives record their sender). The +1 bias keeps the zero value —
+	// what every existing call site constructs — meaning "no peer".
+	Peer int
 }
+
+// PeerRank returns the peer rank, or -1 when the span has none.
+func (s Span) PeerRank() int { return s.Peer - 1 }
 
 // Duration returns the span's length.
 func (s Span) Duration() vclock.Duration { return vclock.Duration(s.End - s.Start) }
@@ -142,12 +149,17 @@ func (c *Collector) Post(ci *mpi.CallInfo) {
 	switch ci.Kind {
 	case mpi.CallRecv, mpi.CallPrefetchWait:
 		if ci.Wait > 0 {
+			peer := 0
+			if ci.Kind == mpi.CallRecv {
+				peer = ci.Peer + 1 // sender rank, biased so 0 stays "none"
+			}
 			c.T.Add(Span{
 				Rank:  c.Rank,
 				Kind:  SpanBlocked,
 				Label: ci.Kind.String(),
 				Start: ci.End - vclock.Time(ci.Wait),
 				End:   ci.End,
+				Peer:  peer,
 			})
 		}
 	case mpi.CallFileRead, mpi.CallFileWrite:
@@ -164,10 +176,20 @@ func (c *Collector) Post(ci *mpi.CallInfo) {
 // Gantt renders the trace as a text chart: one row per rank, the given
 // width in character cells, section spans as letters, blocked time as
 // '.', I/O as '#' overlaid when it dominates a cell.
+//
+// Degenerate inputs render a placeholder line instead of panicking: an
+// empty trace, a non-positive rank count or chart width, or a trace whose
+// spans all sit at virtual time zero (nothing to scale against).
 func (t *Trace) Gantt(ranks, width int) string {
 	spans := t.Spans()
-	if len(spans) == 0 || width <= 0 {
+	if len(spans) == 0 {
 		return "(empty trace)\n"
+	}
+	if ranks <= 0 {
+		return "(no ranks)\n"
+	}
+	if width <= 0 {
+		return "(zero-width chart)\n"
 	}
 	var tmax vclock.Time
 	for _, s := range spans {
@@ -175,7 +197,7 @@ func (t *Trace) Gantt(ranks, width int) string {
 			tmax = s.End
 		}
 	}
-	if tmax == 0 {
+	if tmax <= 0 {
 		return "(zero-length trace)\n"
 	}
 	cell := func(ts vclock.Time) int {

@@ -27,6 +27,7 @@ import (
 	"mheta/internal/exec"
 	"mheta/internal/instrument"
 	"mheta/internal/mpi"
+	"mheta/internal/obs"
 	"mheta/internal/search"
 )
 
@@ -158,9 +159,42 @@ func SearchWith(alg string, spec ClusterSpec, app *App, model *Model, seed uint6
 // GOMAXPROCS). Results — Best, Time and Evaluations — are bit-identical
 // for any worker count; parallelism only changes wall-clock time.
 func SearchWithWorkers(alg string, spec ClusterSpec, app *App, model *Model, seed uint64, workers int) (SearchResult, error) {
+	if workers == 0 {
+		workers = -1 // SearchOptions spells "all cores" as negative; 0 is inline
+	}
+	return SearchWithOptions(alg, spec, app, model, seed, SearchOptions{Workers: workers})
+}
+
+// Metrics is an observability registry (see internal/obs): counters,
+// gauges, histograms and convergence series the search machinery fills
+// when one is supplied. A nil *Metrics disables all instrumentation at
+// the cost of a nil check.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// SearchOptions configures SearchWithOptions beyond the algorithm name.
+type SearchOptions struct {
+	// Workers is the evaluation-pool size; 1 (and 0) evaluate inline,
+	// negative selects GOMAXPROCS. The search outcome is bit-identical
+	// for any value — metrics and parallelism are observation only.
+	Workers int
+	// Metrics, when non-nil, receives the memo hit/miss counters, the
+	// pool utilization counters and the per-algorithm convergence series
+	// ("search.<alg>.best").
+	Metrics *Metrics
+}
+
+// SearchWithOptions runs the named algorithm ("gbs", "genetic",
+// "annealing", "random") with the given evaluation-pool size and
+// optional metrics registry.
+func SearchWithOptions(alg string, spec ClusterSpec, app *App, model *Model, seed uint64, opts SearchOptions) (SearchResult, error) {
 	var ev search.Evaluator = search.ModelEvaluator{Model: model}
-	if workers != 1 {
-		ev = search.NewPool(ev, workers)
+	if opts.Workers != 1 && opts.Workers != 0 {
+		pool := search.NewPool(ev, opts.Workers)
+		pool.Observe(opts.Metrics)
+		ev = pool
 	}
 	total := app.Prog.GlobalElems()
 	switch alg {
@@ -169,16 +203,16 @@ func SearchWithWorkers(alg string, spec ClusterSpec, app *App, model *Model, see
 		for _, v := range app.Prog.DistributedVars() {
 			bpe += v.ElemBytes
 		}
-		s := &search.GBS{Spec: spec, BytesPerElem: bpe}
+		s := &search.GBS{Spec: spec, BytesPerElem: bpe, Obs: opts.Metrics}
 		return s.Search(ev, total), nil
 	case AlgGenetic:
-		s := &search.Genetic{N: spec.N(), Seed: seed}
+		s := &search.Genetic{N: spec.N(), Seed: seed, Obs: opts.Metrics}
 		return s.Search(ev, total), nil
 	case AlgAnnealing:
-		s := &search.Annealing{N: spec.N(), Seed: seed}
+		s := &search.Annealing{N: spec.N(), Seed: seed, Obs: opts.Metrics}
 		return s.Search(ev, total), nil
 	case AlgRandom:
-		s := &search.Random{N: spec.N(), Seed: seed}
+		s := &search.Random{N: spec.N(), Seed: seed, Obs: opts.Metrics}
 		return s.Search(ev, total), nil
 	default:
 		return SearchResult{}, fmt.Errorf("mheta: unknown search algorithm %q", alg)
