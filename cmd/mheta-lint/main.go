@@ -5,6 +5,7 @@
 //	clonesafe       Clone methods must account for every mutable field
 //	nondeterminism  wall clocks / global randomness in deterministic code
 //	floatreduce     completion-order merging of parallel float results
+//	units           dimensional consistency of the model's equations
 //
 // It runs standalone over package patterns:
 //
@@ -47,8 +48,9 @@ func run(args []string) int {
 	}
 
 	fs := flag.NewFlagSet("mheta-lint", flag.ContinueOnError)
+	which := fs.Bool("which", false, "list registered analyzers (stable order) and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: mheta-lint [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: mheta-lint [-which] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Checks mheta's determinism and clone-safety contracts. Analyzers:\n\n")
 		for _, a := range analysis.All() {
 			summary, _, _ := strings.Cut(a.Doc, "\n")
@@ -64,6 +66,13 @@ func run(args []string) int {
 		return 1
 	}
 	rest := fs.Args()
+
+	if *which {
+		for _, name := range analysis.Names() {
+			fmt.Println(name)
+		}
+		return 0
+	}
 
 	// In -vettool mode the go command invokes the tool once per package
 	// with a single *.cfg JSON argument.

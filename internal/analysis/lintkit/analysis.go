@@ -79,7 +79,7 @@ func (p *Pass) Directives() []Directive { return p.directives }
 func (p *Pass) DirectiveAt(pos token.Pos, name string) bool {
 	position := p.Fset.Position(pos)
 	for _, d := range p.directives {
-		if d.Name != name {
+		if d.Kind != "lint" || d.Name != name {
 			continue
 		}
 		dp := p.Fset.Position(d.Pos)
@@ -100,7 +100,7 @@ func (p *Pass) IsDeterministic() bool {
 		return true
 	}
 	for _, d := range p.directives {
-		if d.Name == "deterministic" {
+		if d.Kind == "lint" && d.Name == "deterministic" {
 			return true
 		}
 	}

@@ -1,0 +1,572 @@
+// Package dataflow is lintkit's intraprocedural abstract-interpretation
+// engine: a per-function forward analysis over go/ast + go/types,
+// parameterized by a client-supplied lattice (the Semantics interface).
+//
+// The engine owns the parts every dataflow analysis repeats — an
+// environment mapping variables to abstract values, statement-ordered
+// propagation, branch joins at if/switch/select merges, a bounded
+// fixpoint for loops, function-literal bodies, and named-result plumbing
+// for naked returns — while the client owns the lattice itself and every
+// domain rule: how atoms (literals, fields, calls) are valued, how
+// operators combine values, and what constitutes a reportable conflict.
+// The units analyzer instantiates it with the dimension lattice of
+// DESIGN.md §5.11; the engine is equally usable for other forward
+// analyses (the tests drive it with a parity domain).
+//
+// Approximations, chosen deliberately for a linter (warn-only, no
+// soundness obligation):
+//
+//   - Loops run to a bounded fixpoint (maxLoopPasses) and the loop entry
+//     state is joined with every body pass, so zero-iteration paths are
+//     always represented.
+//   - break/continue/goto are not modeled; their effect is covered by
+//     the conservative joins above.
+//   - The analysis is intraprocedural: calls are valued by the client
+//     (typically from annotations or type information), never by
+//     descending into the callee.
+//   - Function literals are analyzed at their point of appearance with a
+//     copy of the enclosing environment (closures observe the bindings
+//     in scope), and their effects on captured variables are ignored.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maxLoopPasses bounds the per-loop fixpoint iteration. Values join
+// upward quickly in shallow lattices; if the state is still changing
+// after this many passes the engine keeps the last join, which is safe
+// for warn-only clients.
+const maxLoopPasses = 4
+
+// Eval values one expression in the current environment. Clients receive
+// one inside Semantics.Call so argument checks observe the same state.
+type Eval[V comparable] func(e ast.Expr) V
+
+// Semantics is the client's half of the analysis: the lattice and the
+// domain rules. All hooks may report diagnostics as a side effect; the
+// engine may evaluate the same syntax more than once (loop fixpoints,
+// both arms of a branch), so clients must deduplicate reports by
+// position.
+type Semantics[V comparable] interface {
+	// Bottom is the lattice's least element: "no information yet".
+	Bottom() V
+	// Join combines the values reaching a control-flow merge.
+	Join(a, b V) V
+	// Atom values an expression the engine does not decompose:
+	// identifiers with no binding, selectors, literals, and anything
+	// structurally unknown.
+	Atom(e ast.Expr) V
+	// Unary values op x. The engine resolves &x and *x itself.
+	Unary(e *ast.UnaryExpr, x V) V
+	// Binary values x op y for e.X op e.Y.
+	Binary(e *ast.BinaryExpr, x, y V) V
+	// OpAssign values lhs op= rhs (op is the underlying binary token,
+	// e.g. token.ADD for +=).
+	OpAssign(e *ast.AssignStmt, op token.Token, lhs, rhs V) V
+	// Index values e.X[i] given the value of e.X.
+	Index(e *ast.IndexExpr, x V) V
+	// Call values a call or conversion. The client must invoke eval on
+	// each argument it wants analyzed (sub-expressions are only walked
+	// through eval).
+	Call(e *ast.CallExpr, eval Eval[V]) V
+	// Result values the i'th result of call in a multi-value assignment
+	// (x, y := f()).
+	Result(call *ast.CallExpr, i int) V
+	// Bind observes a store. lhs is the assignment target; obj is its
+	// root object when lhs is a plain identifier (nil for field, index
+	// and deref targets, whose checks are the client's to make from
+	// lhs); rhs is the assigned expression (nil for zero-value
+	// declarations and range bindings); v is the incoming value. The
+	// returned value is recorded in the environment.
+	Bind(lhs ast.Expr, obj types.Object, rhs ast.Expr, v V) V
+	// Range values the key and value bindings of a range over x.
+	Range(rs *ast.RangeStmt, x V) (key, val V)
+	// Composite observes one keyed element of a composite literal, for
+	// field-annotation checks.
+	Composite(lit *ast.CompositeLit, kv *ast.KeyValueExpr, v V)
+	// Enter seeds the environment at function entry (parameters, named
+	// results). fn is the *ast.FuncDecl or *ast.FuncLit being entered.
+	Enter(fn ast.Node, ft *ast.FuncType, env *Env[V])
+	// Return observes a return statement with its evaluated results
+	// (resolved from the environment for naked returns).
+	Return(fn ast.Node, ret *ast.ReturnStmt, vals []V)
+}
+
+// Env maps variables to abstract values. Missing objects are Bottom.
+type Env[V comparable] struct {
+	vals map[types.Object]V
+}
+
+// NewEnv returns an empty environment.
+func NewEnv[V comparable]() *Env[V] {
+	return &Env[V]{vals: make(map[types.Object]V)}
+}
+
+// Get returns the value bound to obj and whether a binding exists.
+func (e *Env[V]) Get(obj types.Object) (V, bool) {
+	v, ok := e.vals[obj]
+	return v, ok
+}
+
+// Set binds obj to v.
+func (e *Env[V]) Set(obj types.Object, v V) {
+	if obj != nil {
+		e.vals[obj] = v
+	}
+}
+
+func (e *Env[V]) clone() *Env[V] {
+	c := &Env[V]{vals: make(map[types.Object]V, len(e.vals))}
+	for k, v := range e.vals {
+		c.vals[k] = v
+	}
+	return c
+}
+
+// joinInto merges src into e pointwise with join; missing bindings count
+// as bottom (join's identity). It reports whether e changed.
+func (e *Env[V]) joinInto(join func(a, b V) V, bottom V, src *Env[V]) bool {
+	changed := false
+	for k, sv := range src.vals {
+		ev, ok := e.vals[k]
+		if !ok {
+			ev = bottom
+		}
+		nv := join(ev, sv)
+		if !ok || nv != ev {
+			e.vals[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Interp drives one Semantics over functions of a type-checked package.
+type Interp[V comparable] struct {
+	Info *types.Info
+	Sem  Semantics[V]
+}
+
+// Func analyzes one function declaration or literal from scratch.
+func (in *Interp[V]) Func(fn ast.Node) {
+	in.funcWith(fn, NewEnv[V]())
+}
+
+// funcWith analyzes fn starting from env (used for closures, which see
+// the enclosing bindings).
+func (in *Interp[V]) funcWith(fn ast.Node, env *Env[V]) {
+	var ft *ast.FuncType
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ft, body = f.Type, f.Body
+	case *ast.FuncLit:
+		ft, body = f.Type, f.Body
+	default:
+		return
+	}
+	if body == nil {
+		return
+	}
+	fs := &funcScope[V]{in: in, fn: fn, resultObjs: namedResults(in.Info, ft)}
+	in.Sem.Enter(fn, ft, env)
+	fs.stmt(env, body)
+}
+
+// namedResults resolves the objects of named results, for naked returns.
+func namedResults(info *types.Info, ft *ast.FuncType) []types.Object {
+	if ft.Results == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, f := range ft.Results.List {
+		for _, name := range f.Names {
+			objs = append(objs, info.Defs[name])
+		}
+	}
+	return objs
+}
+
+// funcScope is the per-function state: the node (for Return attribution)
+// and its named-result objects.
+type funcScope[V comparable] struct {
+	in         *Interp[V]
+	fn         ast.Node
+	resultObjs []types.Object
+}
+
+func (fs *funcScope[V]) objectOf(id *ast.Ident) types.Object {
+	return fs.in.Info.ObjectOf(id)
+}
+
+// eval computes the abstract value of e under env.
+func (fs *funcScope[V]) eval(env *Env[V], e ast.Expr) V {
+	sem := fs.in.Sem
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return fs.eval(env, x.X)
+	case *ast.Ident:
+		if obj := fs.objectOf(x); obj != nil {
+			if v, ok := env.Get(obj); ok && v != sem.Bottom() {
+				return v
+			}
+		}
+		return sem.Atom(e)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return fs.eval(env, x.X)
+		}
+		return sem.Unary(x, fs.eval(env, x.X))
+	case *ast.StarExpr:
+		return fs.eval(env, x.X)
+	case *ast.BinaryExpr:
+		xv := fs.eval(env, x.X)
+		yv := fs.eval(env, x.Y)
+		return sem.Binary(x, xv, yv)
+	case *ast.IndexExpr:
+		fs.eval(env, x.Index)
+		return sem.Index(x, fs.eval(env, x.X))
+	case *ast.SliceExpr:
+		return fs.eval(env, x.X)
+	case *ast.CallExpr:
+		return sem.Call(x, func(arg ast.Expr) V { return fs.eval(env, arg) })
+	case *ast.FuncLit:
+		// Analyze the literal's body where it appears; closures observe
+		// a snapshot of the enclosing environment.
+		fs.in.funcWith(x, env.clone())
+		return sem.Atom(e)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				sem.Composite(x, kv, fs.eval(env, kv.Value))
+			} else {
+				fs.eval(env, el)
+			}
+		}
+		return sem.Atom(e)
+	case *ast.TypeAssertExpr:
+		fs.eval(env, x.X)
+		return sem.Atom(e)
+	default:
+		// SelectorExpr, BasicLit and anything else the engine does not
+		// decompose.
+		return sem.Atom(e)
+	}
+}
+
+// store records an assignment of v to lhs, routing through Bind.
+func (fs *funcScope[V]) store(env *Env[V], lhs ast.Expr, rhs ast.Expr, v V) {
+	var obj types.Object
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj = fs.objectOf(id)
+	} else {
+		// Evaluate the target's sub-expressions (indices, receivers) so
+		// checks inside them fire.
+		fs.evalLValueParts(env, lhs)
+	}
+	bound := fs.in.Sem.Bind(lhs, obj, rhs, v)
+	if _, isVar := obj.(*types.Var); isVar {
+		env.Set(obj, bound)
+	}
+}
+
+// evalLValueParts walks the non-identifier parts of an lvalue (index
+// expressions and the like) for their side-effect checks.
+func (fs *funcScope[V]) evalLValueParts(env *Env[V], lhs ast.Expr) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		fs.eval(env, x.Index)
+	case *ast.StarExpr, *ast.SelectorExpr:
+		// Nothing to evaluate for checks.
+	}
+}
+
+func (fs *funcScope[V]) assign(env *Env[V], st *ast.AssignStmt) {
+	sem := fs.in.Sem
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			// Multi-value: x, y := f() or v, ok := m[k].
+			call, _ := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			fs.eval(env, st.Rhs[0])
+			for i, lhs := range st.Lhs {
+				v := sem.Bottom()
+				if call != nil {
+					v = sem.Result(call, i)
+				}
+				fs.store(env, lhs, nil, v)
+			}
+			return
+		}
+		for i := range st.Lhs {
+			if i >= len(st.Rhs) {
+				break
+			}
+			v := fs.eval(env, st.Rhs[i])
+			fs.store(env, st.Lhs[i], st.Rhs[i], v)
+		}
+	default:
+		// Compound assignment: lhs op= rhs.
+		op := assignOp(st.Tok)
+		lv := fs.eval(env, st.Lhs[0])
+		rv := fs.eval(env, st.Rhs[0])
+		v := sem.OpAssign(st, op, lv, rv)
+		fs.store(env, st.Lhs[0], st.Rhs[0], v)
+	}
+}
+
+// assignOp maps an op-assign token to its underlying binary operator.
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return tok
+}
+
+// stmt interprets one statement, mutating env in place.
+func (fs *funcScope[V]) stmt(env *Env[V], s ast.Stmt) {
+	sem := fs.in.Sem
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			fs.stmt(env, inner)
+		}
+	case *ast.ExprStmt:
+		fs.eval(env, st.X)
+	case *ast.AssignStmt:
+		fs.assign(env, st)
+	case *ast.DeclStmt:
+		fs.decl(env, st)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			fs.stmt(env, st.Init)
+		}
+		fs.eval(env, st.Cond)
+		thenEnv := env.clone()
+		fs.stmt(thenEnv, st.Body)
+		if st.Else != nil {
+			elseEnv := env.clone()
+			fs.stmt(elseEnv, st.Else)
+			*env = *NewEnv[V]()
+			env.joinInto(sem.Join, sem.Bottom(), thenEnv)
+			env.joinInto(sem.Join, sem.Bottom(), elseEnv)
+		} else {
+			env.joinInto(sem.Join, sem.Bottom(), thenEnv)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			fs.stmt(env, st.Init)
+		}
+		fs.loop(env, func(body *Env[V]) {
+			if st.Cond != nil {
+				fs.eval(body, st.Cond)
+			}
+			fs.stmt(body, st.Body)
+			if st.Post != nil {
+				fs.stmt(body, st.Post)
+			}
+		})
+	case *ast.RangeStmt:
+		xv := fs.eval(env, st.X)
+		kv, vv := sem.Range(st, xv)
+		fs.loop(env, func(body *Env[V]) {
+			if st.Key != nil {
+				fs.store(body, st.Key, nil, kv)
+			}
+			if st.Value != nil {
+				fs.store(body, st.Value, nil, vv)
+			}
+			fs.stmt(body, st.Body)
+		})
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			fs.stmt(env, st.Init)
+		}
+		if st.Tag != nil {
+			fs.eval(env, st.Tag)
+		}
+		fs.branches(env, st.Body, true)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			fs.stmt(env, st.Init)
+		}
+		fs.stmt(env, st.Assign)
+		fs.branches(env, st.Body, false)
+	case *ast.SelectStmt:
+		fs.branches(env, st.Body, false)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			fs.eval(env, e)
+		}
+		for _, inner := range st.Body {
+			fs.stmt(env, inner)
+		}
+	case *ast.CommClause:
+		if st.Comm != nil {
+			fs.stmt(env, st.Comm)
+		}
+		for _, inner := range st.Body {
+			fs.stmt(env, inner)
+		}
+	case *ast.ReturnStmt:
+		fs.ret(env, st)
+	case *ast.LabeledStmt:
+		fs.stmt(env, st.Stmt)
+	case *ast.GoStmt:
+		fs.eval(env, st.Call)
+	case *ast.DeferStmt:
+		fs.eval(env, st.Call)
+	case *ast.SendStmt:
+		fs.eval(env, st.Chan)
+		fs.eval(env, st.Value)
+	case *ast.IncDecStmt:
+		fs.eval(env, st.X)
+	}
+}
+
+// loop runs body to a bounded fixpoint, always joining the entry state
+// so zero-iteration executions stay represented.
+func (fs *funcScope[V]) loop(env *Env[V], body func(*Env[V])) {
+	sem := fs.in.Sem
+	for pass := 0; pass < maxLoopPasses; pass++ {
+		bodyEnv := env.clone()
+		body(bodyEnv)
+		if !env.joinInto(sem.Join, sem.Bottom(), bodyEnv) {
+			return
+		}
+	}
+}
+
+// branches interprets each clause of a switch/select body on its own
+// copy of env and joins the results. withPre additionally joins the
+// pre-state, covering the no-case-taken path of an expression switch
+// without a default clause; the engine keeps it on always (a clause may
+// be skipped by a panic-free fallthrough structure the engine does not
+// track precisely).
+func (fs *funcScope[V]) branches(env *Env[V], body *ast.BlockStmt, withPre bool) {
+	sem := fs.in.Sem
+	merged := env.clone()
+	for _, clause := range body.List {
+		clauseEnv := env.clone()
+		fs.stmt(clauseEnv, clause)
+		merged.joinInto(sem.Join, sem.Bottom(), clauseEnv)
+	}
+	*env = *merged
+}
+
+// decl interprets a local var/const declaration.
+func (fs *funcScope[V]) decl(env *Env[V], st *ast.DeclStmt) {
+	sem := fs.in.Sem
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			call, _ := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+			fs.eval(env, vs.Values[0])
+			for i, name := range vs.Names {
+				v := sem.Bottom()
+				if call != nil {
+					v = sem.Result(call, i)
+				}
+				fs.store(env, name, nil, v)
+			}
+			continue
+		}
+		for i, name := range vs.Names {
+			var v V = sem.Bottom()
+			var rhs ast.Expr
+			if i < len(vs.Values) {
+				rhs = vs.Values[i]
+				v = fs.eval(env, rhs)
+			}
+			fs.store(env, name, rhs, v)
+		}
+	}
+}
+
+// ret evaluates a return statement's results, resolving naked returns
+// from the named-result bindings.
+func (fs *funcScope[V]) ret(env *Env[V], st *ast.ReturnStmt) {
+	sem := fs.in.Sem
+	var vals []V
+	if len(st.Results) == 0 && len(fs.resultObjs) > 0 {
+		for _, obj := range fs.resultObjs {
+			v := sem.Bottom()
+			if obj != nil {
+				if ev, ok := env.Get(obj); ok {
+					v = ev
+				}
+			}
+			vals = append(vals, v)
+		}
+	} else if len(st.Results) == 1 && countResults(fs.fn) > 1 {
+		// return f() forwarding multiple results.
+		fs.eval(env, st.Results[0])
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			for i := 0; i < countResults(fs.fn); i++ {
+				vals = append(vals, sem.Result(call, i))
+			}
+		}
+	} else {
+		for _, r := range st.Results {
+			vals = append(vals, fs.eval(env, r))
+		}
+	}
+	sem.Return(fs.fn, st, vals)
+}
+
+// countResults returns the declared result count of fn.
+func countResults(fn ast.Node) int {
+	var ft *ast.FuncType
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ft = f.Type
+	case *ast.FuncLit:
+		ft = f.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range ft.Results.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}

@@ -6,8 +6,8 @@ import (
 	"strings"
 )
 
-// Directive is one machine-readable `//lint:<name> <args>` comment. The
-// suite defines:
+// Directive is one machine-readable `//lint:<name> <args>` or
+// `//mheta:<name> <args>` marker. The suite defines:
 //
 //	//lint:ignore <analyzer> <reason>   suppress that analyzer on this
 //	                                    line or the line below
@@ -17,12 +17,22 @@ import (
 //	                                    across clones (clonesafe)
 //	//lint:deterministic                this file's package opts into the
 //	                                    bit-reproducibility contract
+//	//mheta:units <unit> [<name>]       dimension annotation consumed by
+//	                                    the units analyzer
 //
 // A reason is required on ignore/sorted/shared: a suppression without an
 // argument is itself reported by the runner, so every exemption in the
 // tree documents why it is safe.
+//
+// Several directives may share one comment — the arguments of each run
+// up to the next embedded `//lint:`/`//mheta:` marker — so a field can
+// carry both a clone-sharing reason and a dimension:
+//
+//	p Params //lint:shared never written after NewModel //mheta:units seconds
 type Directive struct {
-	Pos  token.Pos
+	Pos token.Pos
+	// Kind is the directive namespace: "lint" or "mheta".
+	Kind string
 	Name string
 	Args string
 }
@@ -58,18 +68,69 @@ func isDeterministicPath(path string) bool {
 	return false
 }
 
-// ParseDirectives extracts every lint directive from the file's comments.
+// directiveMarkers are the comment prefixes that introduce a directive,
+// in the order they are probed at each comment offset.
+var directiveMarkers = [...]struct{ marker, kind string }{
+	{"//lint:", "lint"},
+	{"//mheta:", "mheta"},
+}
+
+// ParseDirectives extracts every lint and mheta directive from the
+// file's comments. Directives may appear anywhere in a comment, not only
+// at its start, and one comment may carry several — each directive's
+// arguments end where the next directive begins.
 func ParseDirectives(file *ast.File) []Directive {
 	var out []Directive
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//lint:")
-			if !ok {
-				continue
-			}
-			name, args, _ := strings.Cut(text, " ")
-			out = append(out, Directive{Pos: c.Slash, Name: name, Args: strings.TrimSpace(args)})
+			out = append(out, parseComment(c)...)
 		}
 	}
 	return out
+}
+
+// parseComment scans one comment for directives. A comment participates
+// only when it *begins* with a directive marker (like //go: directives —
+// prose that merely mentions `//lint:deterministic` must not activate
+// it); further markers embedded later in the same comment then start
+// additional directives.
+func parseComment(c *ast.Comment) []Directive {
+	text := c.Text
+	var out []Directive
+	start, kind := nextMarker(text, 0)
+	if start != 0 {
+		return nil
+	}
+	for start >= 0 {
+		body := text[start:]
+		i := strings.IndexByte(body, ':') + 1
+		nameArgs := body[i:]
+		end, nextKind := nextMarker(text, start+i)
+		if end >= 0 {
+			nameArgs = text[start+i : end]
+		}
+		name, args, _ := strings.Cut(nameArgs, " ")
+		out = append(out, Directive{
+			Pos:  c.Slash + token.Pos(start),
+			Kind: kind,
+			Name: strings.TrimSpace(name),
+			Args: strings.TrimSpace(args),
+		})
+		start, kind = end, nextKind
+	}
+	return out
+}
+
+// nextMarker finds the first directive marker at or after offset from,
+// returning its index and kind, or (-1, "").
+func nextMarker(text string, from int) (int, string) {
+	best, kind := -1, ""
+	for _, m := range directiveMarkers {
+		if i := strings.Index(text[from:], m.marker); i >= 0 {
+			if best < 0 || from+i < best {
+				best, kind = from+i, m.kind
+			}
+		}
+	}
+	return best, kind
 }

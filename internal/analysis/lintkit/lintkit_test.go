@@ -71,6 +71,76 @@ var C int
 	}
 }
 
+func TestParseDirectivesEmbedded(t *testing.T) {
+	pkg := checkSrc(t, "p", `package p
+
+type S struct {
+	// Two directives sharing one comment: the first's args stop where
+	// the second begins.
+	A []float64 //lint:shared immutable after build //mheta:units seconds
+	// Grouped field list with a trailing directive.
+	B, C int64 //mheta:units bytes
+}
+
+// Grouped var list with the directive on the line above.
+//
+//mheta:units s/byte
+var (
+	D, E float64
+)
+
+var F float64 //mheta:units s/elem trailing prose is part of the args
+`)
+	ds := ParseDirectives(pkg.Files[0])
+	type want struct {
+		kind, name, args string
+		line             int
+	}
+	wants := []want{
+		{"lint", "shared", "immutable after build", 6},
+		{"mheta", "units", "seconds", 6},
+		{"mheta", "units", "bytes", 8},
+		{"mheta", "units", "s/byte", 13},
+		{"mheta", "units", "s/elem trailing prose is part of the args", 18},
+	}
+	if len(ds) != len(wants) {
+		t.Fatalf("got %d directives, want %d: %+v", len(ds), len(wants), ds)
+	}
+	for i, w := range wants {
+		d := ds[i]
+		pos := pkg.Fset.Position(d.Pos)
+		if d.Kind != w.kind || d.Name != w.name || d.Args != w.args || pos.Line != w.line {
+			t.Errorf("directive %d = %s:%s %q at line %d, want %s:%s %q at line %d",
+				i, d.Kind, d.Name, d.Args, pos.Line, w.kind, w.name, w.args, w.line)
+		}
+	}
+}
+
+func TestEmbeddedSharedDirectiveStillSuppresses(t *testing.T) {
+	// A //lint:shared reason followed by //mheta:units in the same
+	// comment must keep its reason (not swallow the units directive into
+	// the args in a way that breaks reason checking), and the mheta
+	// directive must not be mistaken for a reason-less lint one.
+	pkg := checkSrc(t, "p", `package p
+
+type T struct {
+	X []int //lint:shared never mutated //mheta:units bytes
+}
+`)
+	findings, err := Run([]*Analyzer{funcFlagger("toy")}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+	for _, d := range ParseDirectives(pkg.Files[0]) {
+		if d.Kind == "lint" && d.Name == "shared" && missingReason(d) {
+			t.Errorf("shared directive lost its reason: %+v", d)
+		}
+	}
+}
+
 func TestIsDeterministicPath(t *testing.T) {
 	cases := []struct {
 		path string

@@ -59,7 +59,7 @@ func runPackage(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
 	}
 	var findings []Finding
 	for _, d := range directives {
-		if (d.Name == "ignore" || d.Name == "sorted" || d.Name == "shared") && missingReason(d) {
+		if d.Kind == "lint" && (d.Name == "ignore" || d.Name == "sorted" || d.Name == "shared") && missingReason(d) {
 			findings = append(findings, Finding{
 				Analyzer: "lintkit",
 				Pos:      pkg.Fset.Position(d.Pos),
@@ -104,7 +104,7 @@ func missingReason(d Directive) bool {
 
 func suppressed(fset *token.FileSet, directives []Directive, analyzer string, pos token.Position) bool {
 	for _, d := range directives {
-		if d.Name != "ignore" || missingReason(d) {
+		if d.Kind != "lint" || d.Name != "ignore" || missingReason(d) {
 			continue
 		}
 		target, _, _ := strings.Cut(d.Args, " ")

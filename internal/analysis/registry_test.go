@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"mheta/internal/analysis/lintkit"
+)
+
+func mk(name string) *lintkit.Analyzer {
+	return &lintkit.Analyzer{Name: name, Doc: name + " doc"}
+}
+
+func TestSuite(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []*lintkit.Analyzer
+		want    []string // sorted names on success
+		wantErr string   // substring on failure
+	}{
+		{name: "empty", in: nil, want: []string{}},
+		{name: "single", in: []*lintkit.Analyzer{mk("a")}, want: []string{"a"}},
+		{
+			name: "sorted regardless of registration order",
+			in:   []*lintkit.Analyzer{mk("units"), mk("clonesafe"), mk("maporder")},
+			want: []string{"clonesafe", "maporder", "units"},
+		},
+		{
+			name:    "duplicate names rejected",
+			in:      []*lintkit.Analyzer{mk("units"), mk("maporder"), mk("units")},
+			wantErr: `duplicate analyzer name "units"`,
+		},
+		{
+			name:    "empty name rejected",
+			in:      []*lintkit.Analyzer{mk("a"), mk("")},
+			wantErr: "empty name",
+		},
+		{
+			name:    "nil analyzer rejected",
+			in:      []*lintkit.Analyzer{mk("a"), nil},
+			wantErr: "nil analyzer",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := suite(c.in)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("suite() err = %v, want containing %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("suite() err = %v", err)
+			}
+			names := make([]string, len(got))
+			for i, a := range got {
+				names[i] = a.Name
+			}
+			if len(names) != len(c.want) {
+				t.Fatalf("suite() = %v, want %v", names, c.want)
+			}
+			for i := range names {
+				if names[i] != c.want[i] {
+					t.Fatalf("suite() = %v, want %v", names, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteDoesNotMutateInput pins that ordering happens on a copy: the
+// registry variable keeps its registration order.
+func TestSuiteDoesNotMutateInput(t *testing.T) {
+	in := []*lintkit.Analyzer{mk("z"), mk("a")}
+	if _, err := suite(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0].Name != "z" || in[1].Name != "a" {
+		t.Fatalf("suite mutated its input: %v, %v", in[0].Name, in[1].Name)
+	}
+}
+
+func TestAllStableOrder(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("All() not in sorted name order: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("All() contains duplicate %q", n)
+		}
+		seen[n] = true
+	}
+	// The units analyzer must be part of the shipped suite.
+	if !seen["units"] {
+		t.Fatalf("All() = %v, missing units", names)
+	}
+}

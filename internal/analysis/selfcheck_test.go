@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mheta/internal/analysis"
+	"mheta/internal/analysis/lintkit"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestTreeIsLintClean runs every registered analyzer over the repo's own
+// packages. The suite's contracts (determinism, clone safety, dimensional
+// consistency) are part of the build: a finding anywhere in the tree is a
+// test failure, so a regression cannot land without either a fix or a
+// reasoned //lint:ignore at the offending site.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and re-typechecks the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	pkgs, err := lintkit.Load(root, "mheta/...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	findings, err := lintkit.Run(analysis.All(), pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,144 @@
+package units
+
+// Cross-package dimension knowledge. lintkit analyzes one package at a
+// time (both standalone and as a go-vet unit) and has no fact
+// serialization, so `//mheta:units` directives are only visible inside
+// the package that declares them. These tables carry the annotated
+// surface of the model packages across package boundaries; each entry
+// mirrors a directive written at the declaration site, and the
+// selfcheck test keeps the two in sync by running the analyzer over the
+// declaring packages themselves.
+//
+// Resolution order everywhere is: in-package directive, then these
+// tables, then the intrinsic unit of the type (e.g. vclock.Duration).
+// The table must therefore override intrinsics where a field reuses a
+// unitful type for a different dimension (disksim's per-byte costs are
+// stored as vclock.Duration but are s/byte).
+
+// ExternalTypes assigns an intrinsic unit to a named type by
+// "pkgpath.Name". Any value of the type — field, variable, call result
+// — carries the unit without further annotation.
+var ExternalTypes = map[string]Unit{
+	"mheta/internal/vclock.Time":     Seconds,
+	"mheta/internal/vclock.Duration": Seconds,
+	// A Distribution carries per-node element counts; by the container
+	// convention the slice bears its elements' unit.
+	"mheta/internal/dist.Distribution": Elems,
+}
+
+// ExternalFields assigns units to exported struct fields by
+// "pkgpath.Type.Field".
+var ExternalFields = map[string]Unit{
+	// memsim: out-of-core layout planning (Eq 2 inputs).
+	"mheta/internal/memsim.Budget.Capacity":      Bytes,
+	"mheta/internal/memsim.Layout.OCLABytes":     Bytes,
+	"mheta/internal/memsim.Layout.ICLABytes":     Bytes,
+	"mheta/internal/memsim.Layout.Passes":        Blocks,
+	"mheta/internal/memsim.Stream.ChunkElems":    Elems,
+	"mheta/internal/memsim.Stream.ChunksPerTile": Blocks,
+	"mheta/internal/memsim.Stream.StripBytes":    Bytes,
+
+	// netsim: per-byte costs are stored as vclock.Duration (so the
+	// emulator can add them directly after multiplying by a byte
+	// count); dimensionally they are s/byte and must override the
+	// type's intrinsic seconds.
+	"mheta/internal/netsim.Params.PerByteSend": SecPerByte,
+	"mheta/internal/netsim.Params.PerByteRecv": SecPerByte,
+	"mheta/internal/netsim.Params.PerByteWire": SecPerByte,
+
+	// disksim: same vclock.Duration-as-rate convention.
+	"mheta/internal/disksim.Params.ReadPerByte":  SecPerByte,
+	"mheta/internal/disksim.Params.WritePerByte": SecPerByte,
+
+	// core model parameters (Eq 1–5 inputs) and predictions.
+	"mheta/internal/core.NetParams.SendFixed":        Seconds,
+	"mheta/internal/core.NetParams.RecvFixed":        Seconds,
+	"mheta/internal/core.NetParams.WireFixed":        Seconds,
+	"mheta/internal/core.NetParams.SendPerByte":      SecPerByte,
+	"mheta/internal/core.NetParams.RecvPerByte":      SecPerByte,
+	"mheta/internal/core.NetParams.WirePerByte":      SecPerByte,
+	"mheta/internal/core.DiskCal.ReadSeek":           Seconds,
+	"mheta/internal/core.DiskCal.WriteSeek":          Seconds,
+	"mheta/internal/core.DiskCal.IssueCost":          Seconds,
+	"mheta/internal/core.StageParams.ComputePerElem": SecPerElem,
+	"mheta/internal/core.StageParams.OverlapPerElem": SecPerElem,
+	"mheta/internal/core.StageParams.ElemBytes":      Bytes,
+	"mheta/internal/core.StageParams.ReadPerByte":    SecPerByte,
+	"mheta/internal/core.StageParams.WritePerByte":   SecPerByte,
+	"mheta/internal/core.SectionParams.Tiles":        Blocks,
+	"mheta/internal/core.SectionParams.MsgBytes":     Bytes,
+	"mheta/internal/core.SectionParams.ReduceBytes":  Bytes,
+	"mheta/internal/core.DistVar.ElemBytes":          Bytes,
+	"mheta/internal/core.Params.MemoryBytes":         Bytes,
+	"mheta/internal/core.Params.BaseDist":            Elems,
+	"mheta/internal/core.Params.IterWeights":         Ratio,
+	"mheta/internal/core.Params.Iterations":          Ratio,
+	"mheta/internal/core.Prediction.PerIteration":    Seconds,
+	"mheta/internal/core.Prediction.Total":           Seconds,
+	"mheta/internal/core.Prediction.NodeTimes":       Seconds,
+	"mheta/internal/core.Prediction.SectionTimes":    Seconds,
+
+	// exec: emulator results.
+	"mheta/internal/exec.Result.Time":         Seconds,
+	"mheta/internal/exec.Result.PerIteration": Seconds,
+	"mheta/internal/exec.Result.NodeTimes":    Seconds,
+
+	// mpijack: instrumented-iteration measurements the extraction
+	// formulas consume (calls are the paper's NR read/write counts).
+	"mheta/internal/mpijack.IORecord.ReadCalls":      Blocks,
+	"mheta/internal/mpijack.IORecord.WriteCalls":     Blocks,
+	"mheta/internal/mpijack.IORecord.ReadBytes":      Bytes,
+	"mheta/internal/mpijack.IORecord.WriteBytes":     Bytes,
+	"mheta/internal/mpijack.IORecord.OverlapElems":   Elems,
+	"mheta/internal/mpijack.IORecord.PrefetchIssues": Blocks,
+	"mheta/internal/mpijack.CommRecord.Sends":        Blocks,
+	"mheta/internal/mpijack.CommRecord.Recvs":        Blocks,
+	"mheta/internal/mpijack.CommRecord.SendBytes":    Bytes,
+	"mheta/internal/mpijack.CommRecord.RecvBytes":    Bytes,
+	"mheta/internal/mpijack.CommRecord.Reductions":   Blocks,
+	"mheta/internal/mpijack.CommRecord.ReduceBytes":  Bytes,
+}
+
+// FuncUnits is the annotated signature of one function: parameter and
+// result units by position (Unknown where unannotated). Receivers are
+// not modeled.
+type FuncUnits struct {
+	Params  []Unit
+	Results []Unit
+}
+
+// ExternalFuncs assigns signature units to functions and methods by
+// types.Func.FullName — "pkgpath.Func" for package functions,
+// "(pkgpath.Type).Method" / "(*pkgpath.Type).Method" for methods.
+var ExternalFuncs = map[string]FuncUnits{
+	// netsim
+	"(mheta/internal/netsim.Params).SendCost":       {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+	"(mheta/internal/netsim.Params).RecvCost":       {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+	"(mheta/internal/netsim.Params).TransferTime":   {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+	"(*mheta/internal/netsim.Network).SendCost":     {Params: []Unit{Unknown, Unknown, Bytes}, Results: []Unit{Seconds}},
+	"(*mheta/internal/netsim.Network).RecvCost":     {Params: []Unit{Unknown, Unknown, Bytes}, Results: []Unit{Seconds}},
+	"(*mheta/internal/netsim.Network).TransferTime": {Params: []Unit{Unknown, Unknown, Bytes}, Results: []Unit{Seconds}},
+
+	// disksim
+	"(mheta/internal/disksim.Params).ReadCost":  {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+	"(mheta/internal/disksim.Params).WriteCost": {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+	"(mheta/internal/disksim.Params).Scale":     {Params: []Unit{Ratio}},
+
+	// memsim
+	"mheta/internal/memsim.PlanVar":    {Params: []Unit{Unknown, Bytes, Bytes}},
+	"mheta/internal/memsim.StreamPlan": {Params: []Unit{Elems, Bytes, Bytes, Blocks}},
+
+	// core methods the experiment/validation layers call.
+	"(mheta/internal/core.NetParams).SendCost": {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+	"(mheta/internal/core.NetParams).RecvCost": {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+	"(mheta/internal/core.NetParams).Transfer": {Params: []Unit{Bytes}, Results: []Unit{Seconds}},
+
+	// vclock: unit-preserving float conversions (milliseconds are still
+	// the time dimension; the lattice tracks dimension, not magnitude).
+	"(mheta/internal/vclock.Duration).Seconds":      {Results: []Unit{Seconds}},
+	"(mheta/internal/vclock.Duration).Milliseconds": {Results: []Unit{Seconds}},
+	"(mheta/internal/vclock.Time).Seconds":          {Results: []Unit{Seconds}},
+
+	// exec: the shared-disk slowdown is a dimensionless factor.
+	"mheta/internal/exec.SharedDiskContention": {Results: []Unit{Ratio}},
+}

@@ -1,0 +1,216 @@
+package units
+
+// Unit is one point of the dimension lattice. Unknown is the bottom
+// element ("no dimensional information"); the remaining points are the
+// dimensions the MHETA equations (DESIGN.md §5.11) actually combine:
+//
+//	seconds   times: fixed costs, per-iteration and total predictions
+//	bytes     message, element, stripe and allocation sizes
+//	bytes/s   bandwidths
+//	s/byte    per-byte costs (1/bandwidth): wire, disk, memory
+//	s/elem    per-element compute and overlap costs
+//	blocks    tile/chunk/pass counts
+//	elems     element counts (distribution entries, chunk sizes)
+//	ratio     dimensionless scale factors and weights
+//
+// The lattice is deliberately flat: combining two incompatible known
+// units yields Unknown (plus a diagnostic where the combination is an
+// addition, comparison or assignment), never a synthetic product
+// dimension. Every quantity the model computes fits one of these
+// points, so anything outside them is an inference dead-end, not a new
+// unit to track.
+type Unit uint8
+
+const (
+	// Unknown is the lattice bottom: unannotated, or an inference
+	// dead-end. It is absorbed by Join and never reported.
+	Unknown Unit = iota
+	Seconds
+	Bytes
+	BytesPerSec
+	SecPerByte
+	SecPerElem
+	Blocks
+	Elems
+	Ratio
+)
+
+var unitNames = [...]string{
+	Unknown:     "unknown",
+	Seconds:     "seconds",
+	Bytes:       "bytes",
+	BytesPerSec: "bytes/s",
+	SecPerByte:  "s/byte",
+	SecPerElem:  "s/elem",
+	Blocks:      "blocks",
+	Elems:       "elems",
+	Ratio:       "ratio",
+}
+
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return "invalid"
+}
+
+// Parse resolves a directive's unit token. The empty string and
+// unrecognised tokens map to Unknown with ok=false, so the analyzer can
+// report malformed annotations instead of silently ignoring them.
+func Parse(s string) (Unit, bool) {
+	for u, name := range unitNames {
+		if Unit(u) != Unknown && name == s {
+			return Unit(u), true
+		}
+	}
+	return Unknown, false
+}
+
+// Join combines the values reaching a control-flow merge. Unknown is
+// the identity; agreeing units survive; disagreeing units fall back to
+// Unknown. Joins never produce diagnostics — a variable legitimately
+// holds different dimensions on different paths only when the code is
+// reusing scratch storage, and the subsequent use sites are where a
+// real mismatch would surface.
+func Join(a, b Unit) Unit {
+	switch {
+	case a == Unknown:
+		return b
+	case b == Unknown:
+		return a
+	case a == b:
+		return a
+	default:
+		return Unknown
+	}
+}
+
+// isCount reports whether u belongs to the counting class. Blocks,
+// elems and ratio are mutually convertible in the model's integer
+// bookkeeping (a chunk count divided by a stripe size is formally a
+// ratio but is stored as elems, a tile count scales per-tile costs), so
+// additions and assignments across the class are tolerated; the
+// distinct points still drive the cancellation rules below.
+func isCount(u Unit) bool {
+	return u == Blocks || u == Elems || u == Ratio
+}
+
+// Compatible reports whether a and b may meet in an addition,
+// comparison or assignment without a diagnostic. Unknown is compatible
+// with everything (no evidence, no report); counting units are
+// mutually compatible; everything else requires an exact match.
+func Compatible(a, b Unit) bool {
+	if a == Unknown || b == Unknown || a == b {
+		return true
+	}
+	return isCount(a) && isCount(b)
+}
+
+// Add yields the unit of a+b (or a-b) for compatible operands. The
+// known side wins over Unknown; mixed counting units keep the non-ratio
+// side when one side is a pure scale factor, otherwise give up.
+func Add(a, b Unit) Unit {
+	switch {
+	case a == b:
+		return a
+	case a == Unknown:
+		return b
+	case b == Unknown:
+		return a
+	case a == Ratio && isCount(b):
+		return b
+	case b == Ratio && isCount(a):
+		return a
+	default:
+		return Unknown
+	}
+}
+
+// Mul yields the unit of a*b. The rules, in priority order:
+//
+//  1. ratio is the multiplicative identity
+//  2. cancellation: bytes×s/byte = seconds, elems×s/elem = seconds,
+//     seconds×bytes/s = bytes
+//  3. counting units scale without changing dimension: blocks×seconds =
+//     seconds (NR·Or in Eq 2), elems×bytes = bytes
+//  4. like counting units stay themselves (blocks×blocks = blocks)
+//
+// Anything else — including seconds×seconds, which the model never
+// forms — is an inference dead-end.
+func Mul(a, b Unit) Unit {
+	if a == Ratio {
+		return b
+	}
+	if b == Ratio {
+		return a
+	}
+	if u, ok := cancel(a, b); ok {
+		return u
+	}
+	if u, ok := cancel(b, a); ok {
+		return u
+	}
+	switch {
+	case a == b && isCount(a):
+		return a
+	case isCount(a) && !isCount(b):
+		return b
+	case isCount(b) && !isCount(a):
+		return a
+	default:
+		return Unknown
+	}
+}
+
+// cancel returns the product of one ordered cancellation pair.
+func cancel(a, b Unit) (Unit, bool) {
+	switch {
+	case a == Bytes && b == SecPerByte:
+		return Seconds, true
+	case a == Elems && b == SecPerElem:
+		return Seconds, true
+	case a == Seconds && b == BytesPerSec:
+		return Bytes, true
+	}
+	return Unknown, false
+}
+
+// Div yields the unit of a/b:
+//
+//  1. dividing by ratio is the identity; like units cancel to ratio
+//  2. rate formation: seconds/bytes = s/byte, seconds/elems = s/elem,
+//     bytes/seconds = bytes/s
+//  3. rate inversion: seconds ÷ s/byte = bytes, seconds ÷ s/elem =
+//     elems, bytes ÷ bytes/s = seconds
+//  4. dividing by a counting unit distributes a total into a per-count
+//     share of the same dimension (busy/tiles in Eq 3)
+//
+// Rule 2 outranks rule 4: seconds/elems is a per-element cost, not
+// seconds — the model distributes time over tiles (blocks), never over
+// raw element counts.
+func Div(a, b Unit) Unit {
+	if b == Ratio {
+		return a
+	}
+	if a == b && a != Unknown {
+		return Ratio
+	}
+	switch {
+	case a == Seconds && b == Bytes:
+		return SecPerByte
+	case a == Seconds && b == Elems:
+		return SecPerElem
+	case a == Bytes && b == Seconds:
+		return BytesPerSec
+	case a == Seconds && b == SecPerByte:
+		return Bytes
+	case a == Seconds && b == SecPerElem:
+		return Elems
+	case a == Bytes && b == BytesPerSec:
+		return Seconds
+	case isCount(b) && !isCount(a):
+		return a
+	default:
+		return Unknown
+	}
+}

@@ -1,0 +1,92 @@
+// Package units_bad plants dimensional inconsistencies. Every planted
+// bug carries a want pattern; the analyzer must report each one with
+// the inferred units of both operands.
+package units_bad
+
+// Cost carries the base annotated quantities.
+type Cost struct {
+	Startup float64 //mheta:units seconds
+	MsgSize float64 //mheta:units bytes
+	PerByte float64 //mheta:units s/byte
+	Rate    float64 //mheta:units bytes/s
+}
+
+// The canonical planted bug: adding a raw message size to a time.
+func addSecondsBytes(c Cost) float64 {
+	return c.Startup + c.MsgSize // want `unit mismatch: seconds \+ bytes`
+}
+
+func compareAcrossDims(c Cost) bool {
+	return c.Startup < c.MsgSize // want `unit mismatch: seconds < bytes`
+}
+
+// The declared return dimension is checked against the inferred one.
+//
+//mheta:units seconds return
+func declaredSecondsReturnsBytes(c Cost) float64 {
+	return c.MsgSize // want `unit mismatch: returning bytes where the function declares seconds`
+}
+
+func assignMismatch(c Cost) Cost {
+	c.Startup = c.MsgSize // want `unit mismatch: cannot assign bytes to seconds field Startup`
+	return c
+}
+
+func opAssignMismatch(c Cost) float64 {
+	t := c.Startup
+	t += c.MsgSize // want `unit mismatch: seconds \+= bytes`
+	return t
+}
+
+func maxMismatch(c Cost) float64 {
+	return max(c.Startup, c.MsgSize) // want `unit mismatch: max of seconds and bytes`
+}
+
+// Units derived through cancellation still participate: bytes x s/byte
+// is seconds, which must not add to a bandwidth.
+func derivedMismatch(c Cost) float64 {
+	wire := c.MsgSize * c.PerByte
+	return wire + c.Rate // want `unit mismatch: seconds \+ bytes/s`
+}
+
+// Call arguments are checked against doc-annotated parameters.
+func argMismatch(c Cost) float64 {
+	return scaled(c, c.Startup) // want `unit mismatch: argument 2 of scaled is seconds, want bytes`
+}
+
+// scaled turns a size into a wire time.
+//
+//mheta:units bytes n
+//mheta:units seconds return
+func scaled(c Cost, n float64) float64 {
+	return n * c.PerByte
+}
+
+// Remainder across incompatible non-count dimensions is meaningless.
+//
+//mheta:units seconds a
+//mheta:units bytes b
+func remMismatch(a, b int64) int64 {
+	return a % b // want `unit mismatch: seconds % bytes`
+}
+
+// Composite literal fields are checked like assignments.
+func compositeMismatch(c Cost) Cost {
+	return Cost{Startup: c.MsgSize} // want `unit mismatch: cannot assign bytes to seconds field Startup`
+}
+
+// Mismatches survive through branches when both arms disagree with the
+// target.
+func branchMismatch(cond bool, c Cost) float64 {
+	v := c.MsgSize
+	if cond {
+		v = c.MsgSize * 2
+	}
+	return v + c.Startup // want `unit mismatch: bytes \+ seconds`
+}
+
+// Malformed annotations are reported, not silently ignored.
+type Bad struct {
+	X float64 //mheta:units furlongs // want `unknown unit "furlongs"`
+	Y float64 //mheta:units seconds (Or) // want `is not a parameter, field, or variable name`
+}

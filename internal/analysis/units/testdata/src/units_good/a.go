@@ -1,0 +1,145 @@
+// Package units_good exercises every inference rule that must stay
+// silent: cancellations, count scaling, constant factors, branch joins,
+// loop fixpoints, conversions, and reasoned suppressions. Any
+// diagnostic in this package is a false positive.
+package units_good
+
+import "math"
+
+type Net struct {
+	Fixed   float64 //mheta:units seconds
+	PerByte float64 //mheta:units s/byte
+	Rate    float64 //mheta:units bytes/s
+}
+
+type Stage struct {
+	PerElem float64 //mheta:units s/elem
+	Bytes   float64 //mheta:units bytes
+	Tiles   float64 //mheta:units blocks
+	Elems   float64 //mheta:units elems
+	Scale   float64 //mheta:units ratio
+}
+
+// Cancellation: bytes x s/byte = seconds, addable to fixed seconds.
+//
+//mheta:units seconds return
+func sendCost(n Net, st Stage) float64 {
+	return n.Fixed + st.Bytes*n.PerByte
+}
+
+// Cancellation: elems x s/elem = seconds.
+//
+//mheta:units seconds return
+func computeCost(st Stage) float64 {
+	return st.Elems * st.PerElem
+}
+
+// Rate inversion: bytes / (bytes/s) = seconds.
+//
+//mheta:units seconds return
+func wireTime(n Net, st Stage) float64 {
+	return st.Bytes / n.Rate
+}
+
+// Rate formation: seconds / bytes = s/byte, storable in a rate field.
+func calibrate(n Net, st Stage) Net {
+	n.PerByte = n.Fixed / st.Bytes
+	return n
+}
+
+// Counting units scale without changing dimension (the NR·Or term of
+// Eq 2), constants act as dimensionless factors, and dividing a total
+// by a tile count keeps its dimension (Eq 3).
+//
+//mheta:units seconds return
+func passTime(n Net, st Stage) float64 {
+	total := st.Tiles * (2 * n.Fixed)
+	return total / st.Tiles
+}
+
+// Ratio is the multiplicative identity.
+//
+//mheta:units seconds return
+func scaled(n Net, st Stage) float64 {
+	return st.Scale * n.Fixed
+}
+
+// Mixed counting units are mutually compatible: an element count
+// divided by a byte-derived stripe is formally a ratio but lands in
+// element bookkeeping (memsim.StreamPlan does exactly this).
+//
+//mheta:units elems return
+func chunkElems(st Stage) float64 {
+	ce := st.Bytes / st.Bytes * st.Elems
+	return ce + st.Scale
+}
+
+// Conversions preserve the operand's unit.
+//
+//mheta:units seconds return
+func converted(n Net, st Stage) float64 {
+	b := int64(st.Bytes)
+	return float64(b) * n.PerByte
+}
+
+// Joins keep agreeing units through branches and loop fixpoints.
+//
+//mheta:units seconds return
+func accumulate(n Net, costs []float64, fast bool) float64 {
+	per := n.Fixed
+	if fast {
+		per = n.Fixed / 2
+	}
+	t := per
+	for i := 0; i < 4; i++ {
+		t += per
+	}
+	return t
+}
+
+// max/min of matching units keeps the unit.
+//
+//mheta:units seconds return
+func slower(n Net, st Stage) float64 {
+	return math.Max(n.Fixed, max(st.Bytes*n.PerByte, st.Elems*st.PerElem))
+}
+
+// Function literals are annotated by the contiguous directive lines
+// above them; locals by a trailing directive.
+//
+//mheta:units seconds return
+func closureCost(n Net) float64 {
+	//mheta:units ratio scale
+	//mheta:units seconds return
+	iterate := func(scale float64) float64 {
+		return scale * n.Fixed
+	}
+	t := iterate(1) //mheta:units seconds
+	return t + n.Fixed
+}
+
+// A trailing directive annotates its own line only; the loop variable
+// on the next line must not inherit seconds and then trip over the
+// ratio comparison.
+//
+//mheta:units seconds return
+func trailingScope(n Net, st Stage) float64 {
+	var t float64 //mheta:units seconds
+	for i := 0.0; i < st.Scale; i++ {
+		t += n.Fixed
+	}
+	return t
+}
+
+// Remainder of distributing a quantity over a count keeps the
+// quantity's dimension (the validate package checks ElemBytes % Tiles).
+func strips(st Stage) bool {
+	return int64(st.Bytes)%int64(st.Tiles) == 0
+}
+
+// A reasoned suppression silences a deliberate mismatch.
+//
+//mheta:units seconds return
+func suppressed(n Net, st Stage) float64 {
+	return n.Fixed + st.Bytes //lint:ignore units fixture pins that reasoned suppressions are honoured
+}

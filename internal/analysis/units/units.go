@@ -1,0 +1,824 @@
+// Package units checks dimensional consistency of the MHETA model
+// code. Struct fields, variables, parameters and results carry
+// `//mheta:units <unit> [<name>]` annotations; an intraprocedural
+// forward dataflow analysis (lintkit/dataflow) then propagates units
+// through assignments, arithmetic and calls, and reports operations
+// that mix incompatible dimensions — adding seconds to bytes, comparing
+// a per-byte rate against a count, returning bytes from a function
+// declared to produce seconds, or passing a tile count where a message
+// size is expected.
+//
+// The lattice, inference rules and the annotated dimensions of each of
+// the paper's Eq 1–5 terms are documented in DESIGN.md §5.11.
+package units
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mheta/internal/analysis/lintkit"
+	"mheta/internal/analysis/lintkit/dataflow"
+)
+
+// Analyzer reports arithmetic that mixes incompatible physical
+// dimensions, driven by //mheta:units annotations.
+var Analyzer = &lintkit.Analyzer{
+	Name: "units",
+	Doc: `check //mheta:units dimension annotations by dataflow analysis
+
+Fields, variables, parameters and results annotated with
+//mheta:units <unit> [<name>] (units: seconds, bytes, bytes/s, s/byte,
+s/elem, blocks, elems, ratio) are propagated through each function body
+with the inference rules of DESIGN.md §5.11: same+same=same,
+bytes x s/byte = seconds, elems x s/elem = seconds, counts scale without
+changing dimension, ratios are the multiplicative identity. Additions,
+comparisons, assignments, returns and annotated call arguments whose
+operands resolve to incompatible dimensions are reported with both
+inferred units. Unannotated code stays silent: the unknown dimension is
+compatible with everything.`,
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (any, error) {
+	c := newChecker(pass)
+	c.checkAll()
+	return nil, nil
+}
+
+// InferResults runs the analysis over pkg with reporting disabled and
+// returns the joined inferred unit of every function's results, keyed
+// by the function's full name ("pkg.F", "(pkg.T).M", "(*pkg.T).M").
+// A function whose every return statement derives Seconds from the
+// annotations is dimensionally proven to produce a time; the model's
+// prove-test pins Eq 1–5 this way.
+func InferResults(pkg *lintkit.Package) map[string][]Unit {
+	pass := &lintkit.Pass{
+		Analyzer:  Analyzer,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		PkgPath:   pkg.PkgPath,
+		Report:    func(lintkit.Diagnostic) {},
+	}
+	c := newChecker(pass)
+	c.checkAll()
+	return c.inferred
+}
+
+// checker implements dataflow.Semantics[Unit] over one package.
+type checker struct {
+	pass   *lintkit.Pass
+	interp *dataflow.Interp[Unit]
+
+	// directives holds every //mheta:units directive in the package.
+	directives []lintkit.Directive
+	// decls maps function objects to their declarations, for doc-comment
+	// signature annotations at call sites.
+	decls map[*types.Func]*ast.FuncDecl
+	// objCache memoizes per-object unit resolution.
+	objCache map[types.Object]Unit
+	// sigCache memoizes per-function signature resolution.
+	sigCache map[*types.Func]*FuncUnits
+	// fnResults carries each analyzed function's declared result units
+	// from Enter to Return.
+	fnResults map[ast.Node][]Unit
+	// inferred accumulates the join of every function's returned units.
+	inferred map[string][]Unit
+	// codeLines caches, per file, the lines on which a syntax node
+	// starts. A directive trailing code annotates that line's
+	// declarations only; a directive alone on a line also annotates the
+	// line below.
+	codeLines map[string]map[int]bool
+	// seen deduplicates diagnostics: the engine re-walks loop bodies to
+	// a fixpoint and both arms of branches, so the same defect can be
+	// evaluated several times.
+	seen map[string]bool
+}
+
+func newChecker(pass *lintkit.Pass) *checker {
+	c := &checker{
+		pass:      pass,
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		objCache:  map[types.Object]Unit{},
+		sigCache:  map[*types.Func]*FuncUnits{},
+		fnResults: map[ast.Node][]Unit{},
+		inferred:  map[string][]Unit{},
+		seen:      map[string]bool{},
+	}
+	c.interp = &dataflow.Interp[Unit]{Info: pass.TypesInfo, Sem: c}
+	for _, f := range pass.Files {
+		for _, d := range lintkit.ParseDirectives(f) {
+			if d.Kind == "mheta" {
+				c.directives = append(c.directives, d)
+			}
+		}
+	}
+	return c
+}
+
+func (c *checker) checkAll() {
+	for _, d := range c.directives {
+		if d.Name != "units" {
+			c.reportf(d.Pos, "unknown //mheta:%s directive (this suite defines only //mheta:units)", d.Name)
+			continue
+		}
+		if fields := strings.Fields(d.Args); len(fields) == 0 {
+			c.reportf(d.Pos, "//mheta:units directive needs a unit (seconds, bytes, bytes/s, s/byte, s/elem, blocks, elems, ratio)")
+		} else if _, ok := Parse(fields[0]); !ok {
+			c.reportf(d.Pos, "//mheta:units directive names unknown unit %q", fields[0])
+		} else if len(fields) > 1 && fields[1] != "return" && !token.IsIdentifier(fields[1]) {
+			// The second token scopes the directive to one declaration;
+			// prose there would silently detach the annotation.
+			c.reportf(d.Pos, "//mheta:units directive: %q is not a parameter, field, or variable name", fields[1])
+		}
+	}
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[fn] = fd
+			}
+		}
+	}
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				c.interp.Func(fd)
+			}
+		}
+	}
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	p := c.pass.Fset.Position(pos)
+	msg := fmt.Sprintf(format, args...)
+	key := p.String() + "\x00" + msg
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Report(lintkit.Diagnostic{Pos: pos, Message: msg})
+}
+
+// ---- directive resolution ----
+
+// unitDirectivesOnLine returns the parsed (unit, name) pairs of every
+// well-formed //mheta:units directive on the given line of file.
+func (c *checker) unitDirectivesOnLine(file string, line int) [][2]string {
+	var out [][2]string
+	for _, d := range c.directives {
+		if d.Name != "units" {
+			continue
+		}
+		dp := c.pass.Fset.Position(d.Pos)
+		if dp.Filename != file || dp.Line != line {
+			continue
+		}
+		fields := strings.Fields(d.Args)
+		if len(fields) == 0 {
+			continue
+		}
+		name := ""
+		if len(fields) > 1 {
+			name = fields[1]
+		}
+		out = append(out, [2]string{fields[0], name})
+	}
+	return out
+}
+
+// directiveUnitAt resolves the unit annotated for name at a declaration
+// position: a //mheta:units directive on the same line or the line
+// above, either anonymous (applies to every name it adjoins) or naming
+// this declaration.
+func (c *checker) directiveUnitAt(pos token.Position, name string) (Unit, bool) {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if line != pos.Line && c.lineHasCode(pos.Filename, line) {
+			// The previous line's trailing directive belongs to that
+			// line's own declarations (`var last float64 //mheta:units
+			// seconds` must not leak onto the statement below).
+			continue
+		}
+		for _, d := range c.unitDirectivesOnLine(pos.Filename, line) {
+			if d[1] != "" && d[1] != name {
+				continue
+			}
+			if u, ok := Parse(d[0]); ok {
+				return u, true
+			}
+		}
+	}
+	return Unknown, false
+}
+
+// lineHasCode reports whether any syntax node starts on the given line
+// of the given file (comments excluded).
+func (c *checker) lineHasCode(filename string, line int) bool {
+	m, ok := c.codeLines[filename]
+	if !ok {
+		m = make(map[int]bool)
+		for _, f := range c.pass.Files {
+			if c.pass.Fset.Position(f.Pos()).Filename != filename {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n.(type) {
+				case nil:
+					return false
+				case *ast.Comment, *ast.CommentGroup:
+					return false
+				}
+				m[c.pass.Fset.Position(n.Pos()).Line] = true
+				return true
+			})
+		}
+		if c.codeLines == nil {
+			c.codeLines = make(map[string]map[int]bool)
+		}
+		c.codeLines[filename] = m
+	}
+	return m[line]
+}
+
+// objUnit resolves the unit of one object: in-package directive, then
+// the external tables (recv is the selector's receiver type for field
+// lookups, nil otherwise), then the intrinsic unit of the object's
+// type.
+func (c *checker) objUnit(obj types.Object, recv types.Type) Unit {
+	if obj == nil {
+		return Unknown
+	}
+	if u, ok := c.objCache[obj]; ok {
+		return u
+	}
+	u := c.resolveObj(obj, recv)
+	c.objCache[obj] = u
+	return u
+}
+
+func (c *checker) resolveObj(obj types.Object, recv types.Type) Unit {
+	if obj.Pkg() == c.pass.Pkg && obj.Pos().IsValid() {
+		if u, ok := c.directiveUnitAt(c.pass.Fset.Position(obj.Pos()), obj.Name()); ok {
+			return u
+		}
+	}
+	if recv != nil {
+		if u, ok := externalFieldUnit(recv, obj.Name()); ok {
+			return u
+		}
+	}
+	return c.unitOfType(obj.Type())
+}
+
+// externalFieldUnit looks up ExternalFields for a field of the named
+// type behind recv (through pointers).
+func externalFieldUnit(recv types.Type, field string) (Unit, bool) {
+	for {
+		switch t := recv.(type) {
+		case *types.Pointer:
+			recv = t.Elem()
+			continue
+		case *types.Named:
+			tn := t.Obj()
+			if tn.Pkg() == nil {
+				return Unknown, false
+			}
+			u, ok := ExternalFields[tn.Pkg().Path()+"."+tn.Name()+"."+field]
+			return u, ok
+		default:
+			return Unknown, false
+		}
+	}
+}
+
+// unitOfType resolves a type's intrinsic unit: ExternalTypes for named
+// types, an in-package directive on the type declaration, and the
+// element unit for containers (a []vclock.Duration holds seconds; the
+// container carries its elements' dimension).
+func (c *checker) unitOfType(t types.Type) Unit {
+	switch tt := t.(type) {
+	case *types.Named:
+		tn := tt.Obj()
+		if tn != nil && tn.Pkg() != nil {
+			if u, ok := ExternalTypes[tn.Pkg().Path()+"."+tn.Name()]; ok {
+				return u
+			}
+			if tn.Pkg() == c.pass.Pkg {
+				if u, ok := c.directiveUnitAt(c.pass.Fset.Position(tn.Pos()), tn.Name()); ok {
+					return u
+				}
+			}
+		}
+		if _, isStruct := tt.Underlying().(*types.Struct); isStruct {
+			return Unknown
+		}
+		return c.unitOfType(tt.Underlying())
+	case *types.Slice:
+		return c.unitOfType(tt.Elem())
+	case *types.Array:
+		return c.unitOfType(tt.Elem())
+	case *types.Pointer:
+		return c.unitOfType(tt.Elem())
+	case *types.Map:
+		return c.unitOfType(tt.Elem())
+	}
+	return Unknown
+}
+
+// funcUnits resolves a function's annotated signature: the external
+// table first (it covers other packages), then doc-comment directives
+// on an in-package declaration.
+func (c *checker) funcUnits(fn *types.Func) *FuncUnits {
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := c.sigCache[fn]; ok {
+		return sig
+	}
+	var sig *FuncUnits
+	if ext, ok := ExternalFuncs[fn.FullName()]; ok {
+		sig = &ext
+	} else if fd, ok := c.decls[fn]; ok {
+		sig = c.declSig(fd)
+	}
+	c.sigCache[fn] = sig
+	return sig
+}
+
+// declSig builds a FuncUnits from the //mheta:units directives in a
+// declaration's doc comment: "<unit> <param-name>" annotates the named
+// parameter, "<unit> return" annotates the next result slot.
+func (c *checker) declSig(fd *ast.FuncDecl) *FuncUnits {
+	if fd.Doc == nil {
+		return nil
+	}
+	byName, returns := c.sigDirectives(fd.Doc.Pos(), fd.Doc.End())
+	if len(byName) == 0 && len(returns) == 0 {
+		return nil
+	}
+	return buildSig(fd.Type, byName, returns)
+}
+
+// sigDirectives collects named units directives in [lo, hi): parameter
+// annotations by name plus positional "return" annotations.
+func (c *checker) sigDirectives(lo, hi token.Pos) (map[string]Unit, []Unit) {
+	byName := map[string]Unit{}
+	var returns []Unit
+	for _, d := range c.directives {
+		if d.Name != "units" || d.Pos < lo || d.Pos >= hi {
+			continue
+		}
+		fields := strings.Fields(d.Args)
+		if len(fields) < 2 {
+			if len(fields) == 1 {
+				c.reportf(d.Pos, "//mheta:units in a function doc needs a parameter name or \"return\" after the unit")
+			}
+			continue
+		}
+		u, ok := Parse(fields[0])
+		if !ok {
+			continue // already reported by checkAll
+		}
+		if fields[1] == "return" {
+			returns = append(returns, u)
+		} else {
+			byName[fields[1]] = u
+		}
+	}
+	return byName, returns
+}
+
+// buildSig maps name-keyed and positional annotations onto a signature.
+func buildSig(ft *ast.FuncType, byName map[string]Unit, returns []Unit) *FuncUnits {
+	sig := &FuncUnits{}
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			names := f.Names
+			if len(names) == 0 {
+				sig.Params = append(sig.Params, Unknown)
+				continue
+			}
+			for _, n := range names {
+				sig.Params = append(sig.Params, byName[n.Name])
+			}
+		}
+	}
+	if ft.Results != nil {
+		ri := 0
+		for _, f := range ft.Results.List {
+			n := max(1, len(f.Names))
+			for i := 0; i < n; i++ {
+				u := Unknown
+				if ri < len(returns) {
+					u = returns[ri]
+				}
+				if len(f.Names) > i {
+					if nu, ok := byName[f.Names[i].Name]; ok {
+						u = nu
+					}
+				}
+				sig.Results = append(sig.Results, u)
+				ri++
+			}
+		}
+	}
+	return sig
+}
+
+// litSig resolves a function literal's annotated signature from the
+// contiguous run of //mheta:units comment lines immediately above the
+// literal (plus its own line) — the only place a literal can be
+// annotated, since it has no doc comment:
+//
+//	//mheta:units ratio scale
+//	//mheta:units seconds return
+//	iterate := func(iter int, scale float64) float64 { ... }
+func (c *checker) litSig(lit *ast.FuncLit) *FuncUnits {
+	pos := c.pass.Fset.Position(lit.Pos())
+	byName := map[string]Unit{}
+	var returns []Unit
+	collect := func(line int) bool {
+		ds := c.unitDirectivesOnLine(pos.Filename, line)
+		for _, d := range ds {
+			u, ok := Parse(d[0])
+			if !ok {
+				continue
+			}
+			if d[1] == "return" {
+				returns = append([]Unit{u}, returns...) // scanning upward
+			} else if d[1] != "" {
+				byName[d[1]] = u
+			}
+		}
+		return len(ds) > 0
+	}
+	collect(pos.Line)
+	for line := pos.Line - 1; line > 0 && collect(line); line-- {
+	}
+	if len(byName) == 0 && len(returns) == 0 {
+		return nil
+	}
+	return buildSig(lit.Type, byName, returns)
+}
+
+// ---- dataflow.Semantics[Unit] ----
+
+func (c *checker) Bottom() Unit        { return Unknown }
+func (c *checker) Join(a, b Unit) Unit { return Join(a, b) }
+
+func (c *checker) Atom(e ast.Expr) Unit {
+	info := c.pass.TypesInfo
+	switch x := e.(type) {
+	case *ast.Ident:
+		return c.objUnit(info.ObjectOf(x), nil)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if sel.Kind() == types.FieldVal {
+				return c.objUnit(sel.Obj(), sel.Recv())
+			}
+			return Unknown
+		}
+		// Package-qualified identifier.
+		return c.objUnit(info.ObjectOf(x.Sel), nil)
+	case *ast.BasicLit:
+		return Unknown
+	}
+	if t := c.pass.TypeOf(e); t != nil {
+		return c.unitOfType(t)
+	}
+	return Unknown
+}
+
+func (c *checker) Unary(e *ast.UnaryExpr, x Unit) Unit {
+	switch e.Op {
+	case token.ADD, token.SUB:
+		return x
+	}
+	return Unknown
+}
+
+// isConstant reports whether e folds to a compile-time constant.
+// Constant factors act as dimensionless scales next to a known unit
+// (9 * vclock.Millisecond is seconds), but stay Unknown on their own so
+// that a constant expression converted into a unitful type — e.g.
+// vclock.Duration(1.0/35e6) initialising a per-byte rate — does not
+// masquerade as a ratio.
+func (c *checker) isConstant(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// scaleOperands promotes a constant operand to ratio when the other
+// operand has a known unit.
+func (c *checker) scaleOperands(ex, ey ast.Expr, x, y Unit) (Unit, Unit) {
+	if x == Unknown && y != Unknown && c.isConstant(ex) {
+		x = Ratio
+	}
+	if y == Unknown && x != Unknown && c.isConstant(ey) {
+		y = Ratio
+	}
+	return x, y
+}
+
+func (c *checker) Binary(e *ast.BinaryExpr, x, y Unit) Unit {
+	return c.binary(e.OpPos, e.Op, e.Op.String(), e.X, e.Y, x, y)
+}
+
+func (c *checker) OpAssign(e *ast.AssignStmt, op token.Token, x, y Unit) Unit {
+	return c.binary(e.TokPos, op, e.Tok.String(), e.Lhs[0], e.Rhs[0], x, y)
+}
+
+func (c *checker) binary(pos token.Pos, op token.Token, opText string, ex, ey ast.Expr, x, y Unit) Unit {
+	switch op {
+	case token.ADD, token.SUB:
+		if !Compatible(x, y) {
+			c.reportf(pos, "unit mismatch: %s %s %s", x, opText, y)
+			return Unknown
+		}
+		return Add(x, y)
+	case token.MUL:
+		x, y = c.scaleOperands(ex, ey, x, y)
+		return Mul(x, y)
+	case token.QUO:
+		x, y = c.scaleOperands(ex, ey, x, y)
+		return Div(x, y)
+	case token.REM:
+		if x != Unknown && isCount(y) {
+			// Distributing a quantity over a count leaves a remainder
+			// in the quantity's dimension (ElemBytes % Tiles is bytes),
+			// mirroring the Div rule.
+			return x
+		}
+		if !Compatible(x, y) {
+			c.reportf(pos, "unit mismatch: %s %s %s", x, opText, y)
+			return Unknown
+		}
+		if x == y {
+			return x
+		}
+		return Unknown
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		if !Compatible(x, y) {
+			c.reportf(pos, "unit mismatch: %s %s %s", x, opText, y)
+		}
+		return Unknown
+	}
+	return Unknown
+}
+
+func (c *checker) Index(e *ast.IndexExpr, x Unit) Unit { return x }
+
+func (c *checker) Call(e *ast.CallExpr, eval dataflow.Eval[Unit]) Unit {
+	info := c.pass.TypesInfo
+	// Conversion: float64(bytes) keeps the operand's unit; the target
+	// type's intrinsic unit is deliberately not injected into an Unknown
+	// operand (a plain number converted to vclock.Duration is usually a
+	// rate or a literal, not yet seconds).
+	if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+		return eval(e.Args[0])
+	}
+	callee := c.calleeObject(e)
+	argUnits := make([]Unit, len(e.Args))
+	for i, a := range e.Args {
+		argUnits[i] = eval(a)
+	}
+	if b, ok := callee.(*types.Builtin); ok {
+		switch b.Name() {
+		case "max", "min":
+			return c.requireMatching(e, b.Name(), argUnits)
+		case "append":
+			if len(argUnits) > 0 {
+				return argUnits[0]
+			}
+		}
+		return Unknown
+	}
+	fn, _ := callee.(*types.Func)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+		switch fn.Name() {
+		case "Max", "Min":
+			return c.requireMatching(e, "math."+fn.Name(), argUnits)
+		case "Abs", "Ceil", "Floor", "Round", "Trunc":
+			if len(argUnits) == 1 {
+				return argUnits[0]
+			}
+		}
+		return Unknown
+	}
+	if sig := c.funcUnits(fn); sig != nil {
+		for i, u := range argUnits {
+			if i >= len(sig.Params) {
+				break
+			}
+			want := sig.Params[i]
+			if want != Unknown && u != Unknown && !Compatible(u, want) {
+				c.reportf(e.Args[i].Pos(), "unit mismatch: argument %d of %s is %s, want %s",
+					i+1, fn.Name(), u, want)
+			}
+		}
+		if len(sig.Results) >= 1 && sig.Results[0] != Unknown {
+			return sig.Results[0]
+		}
+	}
+	// Unannotated call: fall back to the result type's intrinsic unit
+	// (covers every vclock.Duration/Time-returning function).
+	if t := c.pass.TypeOf(e); t != nil {
+		if _, isTuple := t.(*types.Tuple); !isTuple {
+			return c.unitOfType(t)
+		}
+	}
+	return Unknown
+}
+
+// calleeObject resolves the called function or builtin, if static.
+func (c *checker) calleeObject(e *ast.CallExpr) types.Object {
+	switch f := ast.Unparen(e.Fun).(type) {
+	case *ast.Ident:
+		return c.pass.TypesInfo.ObjectOf(f)
+	case *ast.SelectorExpr:
+		return c.pass.TypesInfo.ObjectOf(f.Sel)
+	}
+	return nil
+}
+
+// requireMatching checks that all operands of a max/min-style selection
+// share a dimension and returns the surviving unit.
+func (c *checker) requireMatching(e *ast.CallExpr, name string, argUnits []Unit) Unit {
+	res := Unknown
+	for _, u := range argUnits {
+		if !Compatible(res, u) {
+			c.reportf(e.Pos(), "unit mismatch: %s of %s and %s", name, res, u)
+			return Unknown
+		}
+		res = Add(res, u)
+	}
+	return res
+}
+
+func (c *checker) Result(call *ast.CallExpr, i int) Unit {
+	fn, _ := c.calleeObject(call).(*types.Func)
+	if sig := c.funcUnits(fn); sig != nil && i < len(sig.Results) && sig.Results[i] != Unknown {
+		return sig.Results[i]
+	}
+	if t, ok := c.pass.TypeOf(call).(*types.Tuple); ok && i < t.Len() {
+		return c.unitOfType(t.At(i).Type())
+	}
+	return Unknown
+}
+
+func (c *checker) Bind(lhs ast.Expr, obj types.Object, rhs ast.Expr, v Unit) Unit {
+	want := Unknown
+	if obj != nil {
+		want = c.objUnit(obj, nil)
+	} else {
+		want = c.lvalueUnit(lhs)
+	}
+	if want != Unknown && v != Unknown && !Compatible(v, want) {
+		c.reportf(lhs.Pos(), "unit mismatch: cannot assign %s to %s %s", v, want, describeTarget(lhs))
+	}
+	if want != Unknown {
+		return want
+	}
+	return v
+}
+
+// lvalueUnit resolves the declared unit of a non-identifier assignment
+// target (field, element, deref).
+func (c *checker) lvalueUnit(lhs ast.Expr) Unit {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return c.objUnit(c.pass.TypesInfo.ObjectOf(x), nil)
+	case *ast.SelectorExpr:
+		return c.Atom(x)
+	case *ast.IndexExpr:
+		return c.lvalueUnit(x.X)
+	case *ast.StarExpr:
+		return c.lvalueUnit(x.X)
+	}
+	return Unknown
+}
+
+func describeTarget(lhs ast.Expr) string {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return "variable " + x.Name
+	case *ast.SelectorExpr:
+		return "field " + x.Sel.Name
+	case *ast.IndexExpr:
+		return "element of " + describeShort(x.X)
+	}
+	return "target"
+}
+
+func describeShort(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return "expression"
+}
+
+func (c *checker) Range(rs *ast.RangeStmt, x Unit) (Unit, Unit) {
+	// Keys are indices (dimensionless); values carry the container's
+	// element dimension.
+	return Unknown, x
+}
+
+func (c *checker) Composite(lit *ast.CompositeLit, kv *ast.KeyValueExpr, v Unit) {
+	key, ok := kv.Key.(*ast.Ident)
+	if !ok {
+		return
+	}
+	field, ok := c.pass.TypesInfo.ObjectOf(key).(*types.Var)
+	if !ok || !field.IsField() {
+		return
+	}
+	want := c.objUnit(field, c.pass.TypeOf(lit))
+	if want != Unknown && v != Unknown && !Compatible(v, want) {
+		c.reportf(kv.Pos(), "unit mismatch: cannot assign %s to %s field %s", v, want, field.Name())
+	}
+}
+
+func (c *checker) Enter(fn ast.Node, ft *ast.FuncType, env *dataflow.Env[Unit]) {
+	var sig *FuncUnits
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		sig = c.declSig(f)
+	case *ast.FuncLit:
+		sig = c.litSig(f)
+	}
+	if sig == nil {
+		c.fnResults[fn] = nil
+		return
+	}
+	i := 0
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			for _, name := range f.Names {
+				if i < len(sig.Params) && sig.Params[i] != Unknown {
+					env.Set(c.pass.TypesInfo.Defs[name], sig.Params[i])
+				}
+				i++
+			}
+			if len(f.Names) == 0 {
+				i++
+			}
+		}
+	}
+	// Seed named results so naked returns read the declared unit until
+	// the body overwrites it.
+	if ft.Results != nil {
+		ri := 0
+		for _, f := range ft.Results.List {
+			for _, name := range f.Names {
+				if ri < len(sig.Results) && sig.Results[ri] != Unknown {
+					env.Set(c.pass.TypesInfo.Defs[name], sig.Results[ri])
+				}
+				ri++
+			}
+			if len(f.Names) == 0 {
+				ri++
+			}
+		}
+	}
+	c.fnResults[fn] = sig.Results
+}
+
+func (c *checker) Return(fn ast.Node, ret *ast.ReturnStmt, vals []Unit) {
+	declared := c.fnResults[fn]
+	for i, v := range vals {
+		if i < len(declared) && declared[i] != Unknown && v != Unknown && !Compatible(v, declared[i]) {
+			c.reportf(ret.Pos(), "unit mismatch: returning %s where the function declares %s", v, declared[i])
+		}
+	}
+	key := c.funcKey(fn)
+	inf := c.inferred[key]
+	for len(inf) < len(vals) {
+		inf = append(inf, Unknown)
+	}
+	for i, v := range vals {
+		inf[i] = Join(inf[i], v)
+	}
+	c.inferred[key] = inf
+}
+
+// funcKey names a function for the InferResults map.
+func (c *checker) funcKey(fn ast.Node) string {
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		if f, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			return f.FullName()
+		}
+		return fd.Name.Name
+	}
+	pos := c.pass.Fset.Position(fn.Pos())
+	return fmt.Sprintf("func@%s:%d", pos.Filename, pos.Line)
+}

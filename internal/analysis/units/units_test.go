@@ -1,0 +1,263 @@
+package units_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mheta/internal/analysis/lintkit"
+	"mheta/internal/analysis/lintkit/linttest"
+	"mheta/internal/analysis/units"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want units.Unit
+		ok   bool
+	}{
+		{"seconds", units.Seconds, true},
+		{"bytes", units.Bytes, true},
+		{"bytes/s", units.BytesPerSec, true},
+		{"s/byte", units.SecPerByte, true},
+		{"s/elem", units.SecPerElem, true},
+		{"blocks", units.Blocks, true},
+		{"elems", units.Elems, true},
+		{"ratio", units.Ratio, true},
+		{"unknown", units.Unknown, false},
+		{"furlongs", units.Unknown, false},
+		{"", units.Unknown, false},
+	}
+	for _, c := range cases {
+		got, ok := units.Parse(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Parse(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+		if c.ok && got.String() != c.in {
+			t.Errorf("String(%v) = %q, want %q", got, got.String(), c.in)
+		}
+	}
+}
+
+func TestLatticeAlgebra(t *testing.T) {
+	U, S, B := units.Unknown, units.Seconds, units.Bytes
+	BS, SB, SE := units.BytesPerSec, units.SecPerByte, units.SecPerElem
+	BL, E, R := units.Blocks, units.Elems, units.Ratio
+	all := []units.Unit{U, S, B, BS, SB, SE, BL, E, R}
+
+	// Join: bottom identity, idempotence, disagreement to bottom.
+	for _, a := range all {
+		if units.Join(U, a) != a || units.Join(a, U) != a {
+			t.Errorf("Join with Unknown not identity for %v", a)
+		}
+		if units.Join(a, a) != a {
+			t.Errorf("Join(%v,%v) != %v", a, a, a)
+		}
+	}
+	if units.Join(S, B) != U {
+		t.Errorf("Join(seconds, bytes) = %v, want unknown", units.Join(S, B))
+	}
+
+	// Mul and Add are commutative over the whole lattice.
+	for _, a := range all {
+		for _, b := range all {
+			if units.Mul(a, b) != units.Mul(b, a) {
+				t.Errorf("Mul(%v,%v) != Mul(%v,%v)", a, b, b, a)
+			}
+			if units.Add(a, b) != units.Add(b, a) {
+				t.Errorf("Add(%v,%v) != Add(%v,%v)", a, b, b, a)
+			}
+			if units.Compatible(a, b) != units.Compatible(b, a) {
+				t.Errorf("Compatible(%v,%v) asymmetric", a, b)
+			}
+		}
+	}
+
+	mulCases := []struct{ a, b, want units.Unit }{
+		{R, S, S},              // ratio identity
+		{R, R, R},              //
+		{B, SB, S},             // bytes x s/byte = seconds (Eq 1 wire term)
+		{E, SE, S},             // elems x s/elem = seconds (Eq 1 compute term)
+		{S, BS, B},             // seconds x bytes/s = bytes
+		{BL, S, S},             // NR·Or: counts scale seconds (Eq 2)
+		{E, B, B},              // element count x element size
+		{BL, BL, BL},           // like counts stay themselves
+		{BL, E, units.Unknown}, // unlike counts are meaningless products
+		{S, S, U},              // seconds² is outside the lattice
+		{U, S, U},              // unknown poisons products
+	}
+	for _, c := range mulCases {
+		if got := units.Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+
+	divCases := []struct{ a, b, want units.Unit }{
+		{S, R, S},  // dividing by ratio is identity
+		{S, S, R},  // like units cancel
+		{E, E, R},  //
+		{S, B, SB}, // rate formation
+		{S, E, SE}, //
+		{B, S, BS}, //
+		{S, SB, B}, // rate inversion
+		{S, SE, E}, //
+		{B, BS, S}, //
+		{S, BL, S}, // busy/tiles distributes seconds over tiles (Eq 3)
+		{B, E, B},  // per-count share keeps dimension
+		{U, S, U},  //
+		{SB, S, U}, // no synthetic s/byte/s dimension
+	}
+	for _, c := range divCases {
+		if got := units.Div(c.a, c.b); got != c.want {
+			t.Errorf("Div(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+
+	compatCases := []struct {
+		a, b units.Unit
+		want bool
+	}{
+		{S, S, true},
+		{U, S, true}, // no evidence, no report
+		{S, B, false},
+		{SB, BS, false},
+		{BL, E, true}, // counts are mutually compatible
+		{E, R, true},
+		{BL, R, true},
+		{S, R, false}, // seconds are not a count
+	}
+	for _, c := range compatCases {
+		if got := units.Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+
+	addCases := []struct{ a, b, want units.Unit }{
+		{S, S, S},
+		{U, S, S}, // the known side wins
+		{E, R, E}, // scale factors fold into counts
+		{BL, E, U},
+	}
+	for _, c := range addCases {
+		if got := units.Add(c.a, c.b); got != c.want {
+			t.Errorf("Add(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", units.Analyzer, "units_bad", "units_good")
+}
+
+// TestReasonlessSuppressionStaysFinding pins the contract that a bare
+// //lint:ignore units cannot silence the analyzer: the runner reports
+// the missing reason and the dimensional finding survives.
+func TestReasonlessSuppressionStaysFinding(t *testing.T) {
+	src := `package p
+
+type C struct {
+	T float64 //mheta:units seconds
+	B float64 //mheta:units bytes
+}
+
+//lint:ignore units
+func f(c C) float64 {
+	return c.T + c.B
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := lintkit.Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintkit.Run([]*lintkit.Analyzer{units.Analyzer}, []*lintkit.Package{{
+		PkgPath: "p", Fset: fset, Files: []*ast.File{f}, Types: pkg, TypesInfo: info,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveReason, haveMismatch bool
+	for _, fd := range findings {
+		if strings.Contains(fd.Message, "needs a reason") {
+			haveReason = true
+		}
+		if strings.Contains(fd.Message, "seconds + bytes") {
+			haveMismatch = true
+		}
+	}
+	if !haveReason || !haveMismatch {
+		t.Fatalf("want both the missing-reason and the unit findings, got %v", findings)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestEquationsProveSeconds is the dimension proof for the model: over
+// the real, annotated mheta/internal/core package, the analyzer must
+// infer Seconds for the result of every Eq 1–5 time computation. Eq 3–5
+// (the communication recurrences) mutate the per-node seconds scratch
+// (m.busy, m.sendDone) rather than returning, so their proof is the
+// absence of assignment findings plus the Seconds results of the
+// functions below that consume them.
+func TestEquationsProveSeconds(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := lintkit.Load(root, "mheta/internal/core")
+	if err != nil {
+		t.Fatalf("loading core: %v", err)
+	}
+	var core *lintkit.Package
+	for _, p := range pkgs {
+		if p.PkgPath == "mheta/internal/core" {
+			core = p
+		}
+	}
+	if core == nil {
+		t.Fatal("mheta/internal/core not among loaded packages")
+	}
+	inferred := units.InferResults(core)
+	mustBeSeconds := []string{
+		// Eq 1/2: per-stage time with in-core and out-of-core branches.
+		"(*mheta/internal/core.Model).stageTime",
+		// Eq 1 aggregation across a section's stages.
+		"(*mheta/internal/core.Model).sectionBusy",
+		// §4.2.2 message cost terms feeding Eq 3–5.
+		"(mheta/internal/core.NetParams).SendCost",
+		"(mheta/internal/core.NetParams).RecvCost",
+		"(mheta/internal/core.NetParams).Transfer",
+	}
+	for _, fn := range mustBeSeconds {
+		res, ok := inferred[fn]
+		if !ok {
+			t.Errorf("%s: no inferred results (function missing or never returns)", fn)
+			continue
+		}
+		if len(res) == 0 || res[0] != units.Seconds {
+			t.Errorf("%s: inferred %v, want [seconds]", fn, res)
+		}
+	}
+}

@@ -16,6 +16,8 @@ package core
 // activeNodes collects the ranks with non-zero work, in rank order.
 // Nodes with empty blocks take no part in boundary or pipeline traffic
 // (they have no boundary to exchange) but do join reductions.
+//
+//mheta:units elems d
 func (m *Model) activeNodes(d []int) []int {
 	m.active = m.active[:0]
 	for p, w := range d {
@@ -31,6 +33,8 @@ func (m *Model) activeNodes(d []int) []int {
 // neighbour, then receives from left then right (the executor's order).
 // The max(0, ...) of Equation 3 appears as the max between a node's own
 // send-completion time and the incoming message's arrival.
+//
+//mheta:units elems d
 func (m *Model) nearestNeighbor(s *SectionParams, d []int) {
 	act := m.activeNodes(d)
 	os := m.p.Net.SendCost(s.MsgBytes)
@@ -81,6 +85,8 @@ func (m *Model) nearestNeighbor(s *SectionParams, d []int) {
 // covers the same rows over a 1/Tiles column strip), and forwards to node
 // i+1. The head never blocks; downstream waits are the recursive Twait of
 // Equation 4, realised as max(own progress, upstream arrival).
+//
+//mheta:units elems d
 func (m *Model) pipeline(s *SectionParams, d []int) {
 	act := m.activeNodes(d)
 	if len(act) == 0 {
@@ -124,6 +130,8 @@ func (m *Model) pipeline(s *SectionParams, d []int) {
 // all-reduce. This stands in for the dissertation's reduction equations:
 // each tree edge costs os on the sender, wire in flight, and or on the
 // receiver, entered at whatever time each node reaches the reduction.
+//
+//mheta:units bytes bytes
 func (m *Model) reduceTree(bytes int64, allreduce bool) {
 	n := m.p.Nodes
 	os := m.p.Net.SendCost(bytes)

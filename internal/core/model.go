@@ -21,17 +21,17 @@ type Model struct {
 	stageVar [][]int
 	// scratch, reused across Predict calls (a Model is not safe for
 	// concurrent use; clone one per goroutine with Clone).
-	clock    []float64
-	busy     []float64
-	sendDone []float64
-	prevTile []float64
-	curTile  []float64
+	clock    []float64 //mheta:units seconds
+	busy     []float64 //mheta:units seconds
+	sendDone []float64 //mheta:units seconds
+	prevTile []float64 //mheta:units seconds
+	curTile  []float64 //mheta:units seconds
 	active   []int
 	layouts  [][]memsim.Layout // [node][distVar]
 	// kShared is the predicted shared-disk contention factor for the
 	// distribution under evaluation (1 for private disks), refreshed by
 	// residency().
-	kShared float64
+	kShared float64 //mheta:units ratio
 }
 
 // NewModel validates params and compiles them into a Model.
@@ -121,30 +121,35 @@ type Prediction struct {
 	// accounts for the skew the ending collective leaves between nodes
 	// (the root exits a reduction tree earlier than the leaves and
 	// starts the next iteration's critical path sooner).
-	PerIteration float64
+	PerIteration float64 //mheta:units seconds
 	// NodeTimes[p] is node p's per-iteration finish time TA(p).
-	NodeTimes []float64
+	NodeTimes []float64 //mheta:units seconds
 	// Total is PerIteration × Iterations.
-	Total float64
+	Total float64 //mheta:units seconds
 	// SectionTimes[s][p] is node p's finish time after section s,
 	// cumulative within the iteration (diagnostic; nil unless requested
 	// via PredictDetailed).
-	SectionTimes [][]float64
+	SectionTimes [][]float64 //mheta:units seconds
 }
 
 // Predict evaluates the model for the candidate distribution d (elements
 // per node) and returns the prediction. This is the hot path: pure
 // arithmetic over the parameter set, no emulation.
+//
+//mheta:units elems d
 func (m *Model) Predict(d []int) Prediction {
 	return m.predict(d, false)
 }
 
 // PredictDetailed is Predict plus per-section cumulative times for
 // diagnostics and tests.
+//
+//mheta:units elems d
 func (m *Model) PredictDetailed(d []int) Prediction {
 	return m.predict(d, true)
 }
 
+//mheta:units elems d
 func (m *Model) predict(d []int, detailed bool) Prediction {
 	n := m.p.Nodes
 	if len(d) != n {
@@ -154,11 +159,14 @@ func (m *Model) predict(d []int, detailed bool) Prediction {
 	for p := 0; p < n; p++ {
 		m.clock[p] = 0
 	}
-	var sectionTimes [][]float64
-	var nodeTimes []float64
+	var sectionTimes [][]float64 //mheta:units seconds
+	var nodeTimes []float64      //mheta:units seconds
 
 	// iterate evaluates one iteration's sections with the given compute
 	// scale, chaining clocks, and returns the makespan so far.
+	//
+	//mheta:units ratio scale
+	//mheta:units seconds return
 	iterate := func(iter int, scale float64) float64 {
 		for si := range m.p.Sections {
 			s := &m.p.Sections[si]
@@ -210,15 +218,15 @@ func (m *Model) predict(d []int, detailed bool) Prediction {
 		// steady-state period. Because every application's iteration ends
 		// in a collective, the inter-node clock offsets reach their fixed
 		// point after one iteration, so two are sufficient.
-		t1 := iterate(0, 1)
-		t2 := iterate(1, 1)
+		t1 := iterate(0, 1) //mheta:units seconds
+		t2 := iterate(1, 1) //mheta:units seconds
 		pred.Total = t1 + float64(m.p.Iterations-1)*(t2-t1)
 	} else {
 		// Nonuniform iterations (§3.1): evaluate every iteration with its
 		// computation weight relative to the instrumented iteration
 		// (index 0).
 		w0 := m.p.IterWeights[0]
-		var last float64
+		var last float64 //mheta:units seconds
 		for i := 0; i < m.p.Iterations; i++ {
 			last = iterate(i, m.p.IterWeights[i]/w0)
 		}
@@ -232,6 +240,8 @@ func (m *Model) predict(d []int, detailed bool) Prediction {
 
 // residency runs MHETA's (deliberately simple, §5.4) in-core heuristic
 // for every node under distribution d, filling m.layouts.
+//
+//mheta:units elems d
 func (m *Model) residency(d []int) {
 	m.kShared = 1
 	streaming := 0
@@ -255,6 +265,10 @@ func (m *Model) residency(d []int) {
 
 // sectionBusy returns node p's total computation + I/O time for a section
 // (all stages, all tiles) given its assigned work w.
+//
+//mheta:units elems w
+//mheta:units ratio scale
+//mheta:units seconds return
 func (m *Model) sectionBusy(si int, s *SectionParams, p, w int, scale float64) float64 {
 	if w == 0 {
 		return 0
@@ -269,6 +283,11 @@ func (m *Model) sectionBusy(si int, s *SectionParams, p, w int, scale float64) f
 // stageTime implements §4.2.1 for one stage on one node: computation
 // scaled to the assigned work, plus the Equation 1 (synchronous) or
 // Equation 2 (prefetching) I/O term for the streamed variable.
+//
+//mheta:units blocks tiles
+//mheta:units elems w
+//mheta:units ratio scale
+//mheta:units seconds return
 func (m *Model) stageTime(st *StageParams, varIdx, tiles, p, w int, scale float64) float64 {
 	t := st.ComputePerElem[p] * float64(w) * scale
 	if varIdx < 0 {

@@ -25,25 +25,34 @@ import (
 // fixed send/receive overheads with per-byte growth, and the wire's
 // latency and per-byte time. All values are seconds.
 type NetParams struct {
-	SendFixed   float64 `json:"send_fixed"`
-	SendPerByte float64 `json:"send_per_byte"`
-	RecvFixed   float64 `json:"recv_fixed"`
-	RecvPerByte float64 `json:"recv_per_byte"`
-	WireFixed   float64 `json:"wire_fixed"`
-	WirePerByte float64 `json:"wire_per_byte"`
+	SendFixed   float64 `json:"send_fixed"`    //mheta:units seconds
+	SendPerByte float64 `json:"send_per_byte"` //mheta:units s/byte
+	RecvFixed   float64 `json:"recv_fixed"`    //mheta:units seconds
+	RecvPerByte float64 `json:"recv_per_byte"` //mheta:units s/byte
+	WireFixed   float64 `json:"wire_fixed"`    //mheta:units seconds
+	WirePerByte float64 `json:"wire_per_byte"` //mheta:units s/byte
 }
 
 // SendCost returns os(m) for a message of the given size.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (n NetParams) SendCost(bytes int64) float64 {
 	return n.SendFixed + float64(bytes)*n.SendPerByte
 }
 
 // RecvCost returns or(m).
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (n NetParams) RecvCost(bytes int64) float64 {
 	return n.RecvFixed + float64(bytes)*n.RecvPerByte
 }
 
 // Transfer returns the in-flight time for a message of the given size.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (n NetParams) Transfer(bytes int64) float64 {
 	return n.WireFixed + float64(bytes)*n.WirePerByte
 }
@@ -51,12 +60,13 @@ func (n NetParams) Transfer(bytes int64) float64 {
 // DiskCal are the node-specific disk constants from the disk
 // micro-benchmark: "The seek overheads for reading and writing to local
 // disk are the same regardless of the variable involved, so they are
-// measured and output as node-specific data" (§4.1.1). IssueCost is To,
-// the CPU overhead of issuing an asynchronous prefetch.
+// measured and output as node-specific data" (§4.1.1). ReadSeek and
+// WriteSeek are the paper's Or and Ow; IssueCost is To, the CPU overhead
+// of issuing an asynchronous prefetch.
 type DiskCal struct {
-	ReadSeek  float64 `json:"read_seek"`  // Or
-	WriteSeek float64 `json:"write_seek"` // Ow
-	IssueCost float64 `json:"issue_cost"` // To
+	ReadSeek  float64 `json:"read_seek"`  //mheta:units seconds
+	WriteSeek float64 `json:"write_seek"` //mheta:units seconds
+	IssueCost float64 `json:"issue_cost"` //mheta:units seconds
 }
 
 // StageParams hold the instrumented measurements for one stage,
@@ -67,45 +77,45 @@ type StageParams struct {
 	// local element: the stage span minus stage I/O, divided by the
 	// instrumented run's work assignment W(p) (§4.1.1). Scaling it by the
 	// candidate distribution's W'(p) realises Tc' = Tc·W'/W.
-	ComputePerElem []float64 `json:"compute_per_elem"`
+	ComputePerElem []float64 `json:"compute_per_elem"` //mheta:units s/elem
 	// StreamVar names the out-of-core variable the stage streams ("" if
 	// the stage touches only in-core data).
 	StreamVar string `json:"stream_var,omitempty"`
 	// ElemBytes is the streamed variable's per-element footprint.
-	ElemBytes int64 `json:"elem_bytes,omitempty"`
+	ElemBytes int64 `json:"elem_bytes,omitempty"` //mheta:units bytes
 	// ReadOnly is true when processing incurs no write-back (CG, Lanczos).
 	ReadOnly bool `json:"read_only,omitempty"`
 	// ReadPerByte[p] / WritePerByte[p] are the variable-specific latencies
 	// lr(v), lw(v) extracted for node p from the instrumented (forced)
 	// I/O, already net of seek overheads.
-	ReadPerByte  []float64 `json:"read_per_byte,omitempty"`
-	WritePerByte []float64 `json:"write_per_byte,omitempty"`
+	ReadPerByte  []float64 `json:"read_per_byte,omitempty"`  //mheta:units s/byte
+	WritePerByte []float64 `json:"write_per_byte,omitempty"` //mheta:units s/byte
 	// Prefetch marks the stage's ICLA loop as unrolled for prefetching
 	// (Figure 6), switching the I/O term from Equation 1 to Equation 2.
 	Prefetch bool `json:"prefetch,omitempty"`
 	// OverlapPerElem[p] is Tov per local element: the computation node p
 	// overlaps with each in-flight prefetch, measured under the Figure 5
 	// transform.
-	OverlapPerElem []float64 `json:"overlap_per_elem,omitempty"`
+	OverlapPerElem []float64 `json:"overlap_per_elem,omitempty"` //mheta:units s/elem
 }
 
 // SectionParams describe one parallel section.
 type SectionParams struct {
 	Name  string              `json:"name"`
-	Tiles int                 `json:"tiles"`
+	Tiles int                 `json:"tiles"` //mheta:units blocks
 	Comm  program.CommPattern `json:"comm"`
 	// MsgBytes is the boundary-message payload per neighbour (nearest
 	// neighbour) or per tile (pipeline).
-	MsgBytes int64 `json:"msg_bytes,omitempty"`
+	MsgBytes int64 `json:"msg_bytes,omitempty"` //mheta:units bytes
 	// ReduceBytes is the reduction payload.
-	ReduceBytes int64         `json:"reduce_bytes,omitempty"`
+	ReduceBytes int64         `json:"reduce_bytes,omitempty"` //mheta:units bytes
 	Stages      []StageParams `json:"stages"`
 }
 
 // DistVar describes one distributed variable for the in-core heuristic.
 type DistVar struct {
 	Name      string `json:"name"`
-	ElemBytes int64  `json:"elem_bytes"`
+	ElemBytes int64  `json:"elem_bytes"` //mheta:units bytes
 	ReadOnly  bool   `json:"read_only,omitempty"`
 }
 
@@ -115,22 +125,22 @@ type DistVar struct {
 type Params struct {
 	Program    string `json:"program"`
 	Nodes      int    `json:"nodes"`
-	Iterations int    `json:"iterations"`
+	Iterations int    `json:"iterations"` //mheta:units ratio
 	// MemoryBytes[p] is node p's ICLA budget — part of the known
 	// architecture description, like the paper's emulated memory caps.
-	MemoryBytes []int64   `json:"memory_bytes"`
+	MemoryBytes []int64   `json:"memory_bytes"` //mheta:units bytes
 	Disk        []DiskCal `json:"disk"`
 	Net         NetParams `json:"net"`
 	// BaseDist is the distribution the instrumented iteration ran under
 	// (the paper instruments under Blk); ComputePerElem values were
 	// normalised by it.
-	BaseDist []int           `json:"base_dist"`
+	BaseDist []int           `json:"base_dist"` //mheta:units elems
 	DistVars []DistVar       `json:"dist_vars"`
 	Sections []SectionParams `json:"sections"`
 	// IterWeights makes iterations nonuniform (§3.1): iteration i's
 	// computation is IterWeights[i]/IterWeights[0] times the instrumented
 	// iteration's (index 0). Nil means uniform.
-	IterWeights []float64 `json:"iter_weights,omitempty"`
+	IterWeights []float64 `json:"iter_weights,omitempty"` //mheta:units ratio
 	// SharedDisk marks the §3.2 global-disk extension: all nodes stream
 	// through one disk, modelled as fair bandwidth sharing — every I/O
 	// term scales by the number of concurrently streaming nodes. The

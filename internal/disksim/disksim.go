@@ -19,13 +19,18 @@ import (
 	"mheta/internal/vclock"
 )
 
-// Params describes one node's disk.
+// Params describes one node's disk: ReadSeek/WriteSeek are the paper's
+// Or/Ow fixed per-call overheads, ReadPerByte/WritePerByte its streaming
+// latencies, and IssueCost is To, the CPU cost of issuing an async
+// prefetch. The per-byte fields are stored as vclock.Duration for
+// clock arithmetic but are dimensionally s/byte; the directives
+// override the type's intrinsic seconds.
 type Params struct {
-	ReadSeek     vclock.Duration // Or: fixed overhead per read call
-	WriteSeek    vclock.Duration // Ow: fixed overhead per write call
-	ReadPerByte  vclock.Duration // read latency per byte
-	WritePerByte vclock.Duration // write latency per byte
-	IssueCost    vclock.Duration // To: CPU cost to issue an async prefetch
+	ReadSeek     vclock.Duration //mheta:units seconds
+	WriteSeek    vclock.Duration //mheta:units seconds
+	ReadPerByte  vclock.Duration //mheta:units s/byte
+	WritePerByte vclock.Duration //mheta:units s/byte
+	IssueCost    vclock.Duration //mheta:units seconds
 }
 
 // DefaultParams returns costs typical of a circa-2005 commodity IDE disk:
@@ -44,6 +49,8 @@ func DefaultParams() Params {
 // Scale returns a copy of p with all latencies multiplied by f. The
 // cluster configurations use this to emulate slower or faster disks
 // ("differing I/O speeds", §5.1).
+//
+//mheta:units ratio f
 func (p Params) Scale(f float64) Params {
 	return Params{
 		ReadSeek:     vclock.Duration(float64(p.ReadSeek) * f),
@@ -55,11 +62,17 @@ func (p Params) Scale(f float64) Params {
 }
 
 // ReadCost returns Or + bytes·Lr.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (p Params) ReadCost(bytes int) vclock.Duration {
 	return p.ReadSeek + vclock.Duration(bytes)*p.ReadPerByte
 }
 
 // WriteCost returns Ow + bytes·Lw.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (p Params) WriteCost(bytes int) vclock.Duration {
 	return p.WriteSeek + vclock.Duration(bytes)*p.WritePerByte
 }
@@ -94,7 +107,7 @@ type Disk struct {
 	// global disk shared by all processors, modelled as fair bandwidth
 	// sharing — each of k concurrently streaming nodes sees the disk k×
 	// slower). 1 for a private commodity disk.
-	contention float64
+	contention float64 //mheta:units ratio
 
 	mu    sync.Mutex
 	store map[string][]byte

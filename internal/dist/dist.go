@@ -16,7 +16,7 @@ import (
 // Distribution assigns a contiguous block of elements to each node;
 // entry i is node i's block size. Entries may be zero (a node may own
 // nothing), never negative.
-type Distribution []int
+type Distribution []int //mheta:units elems
 
 // Total returns the number of elements distributed.
 func (d Distribution) Total() int {

@@ -120,11 +120,11 @@ type Result struct {
 	// NodeTimes[p] is rank p's virtual finish time measured from the
 	// post-setup barrier (compulsory reads and data placement excluded,
 	// matching the model's steady-state scope).
-	NodeTimes []float64
+	NodeTimes []float64 //mheta:units seconds
 	// Time is the run's wall time: max over NodeTimes.
-	Time float64
+	Time float64 //mheta:units seconds
 	// PerIteration is Time divided by the iteration count.
-	PerIteration float64
+	PerIteration float64 //mheta:units seconds
 	// Recorders holds each rank's instrumented measurements
 	// (ModeInstrument only).
 	Recorders []*mpijack.Recorder

@@ -62,7 +62,7 @@ func Extract(spec cluster.Spec, prog *program.Program, baseDist dist.Distributio
 	// contention (forced streaming on every active node); divide that
 	// factor out so the stored latencies are contention-free and the
 	// model can apply the candidate distribution's own factor.
-	kInstr := 1.0
+	kInstr := 1.0 //mheta:units ratio
 	if spec.SharedDisk {
 		kInstr = exec.SharedDiskContention(spec, prog, baseDist, true)
 	}

@@ -15,6 +15,9 @@ import "sort"
 // ICLAs. Where Plan and PlanGreedy disagree — boundary cases with several
 // distributed variables — MHETA under- or over-predicts I/O exactly as the
 // paper describes.
+//
+//mheta:units bytes varBytes
+//mheta:units bytes elemSize
 func PlanGreedy(b Budget, varBytes map[string]int64, elemSize map[string]int64) map[string]Layout {
 	names := make([]string, 0, len(varBytes))
 	for n := range varBytes {
@@ -77,12 +80,12 @@ func PlanGreedy(b Budget, varBytes map[string]int64, elemSize map[string]int64) 
 // touches a 1/tiles-wide strip of every row.
 type Stream struct {
 	// ChunkElems is how many elements (rows) one in-core chunk holds.
-	ChunkElems int
+	ChunkElems int //mheta:units elems
 	// ChunksPerTile is NR for one tile: ceil(localElems/ChunkElems).
-	ChunksPerTile int
+	ChunksPerTile int //mheta:units blocks
 	// StripBytes is the on-disk bytes of one element within one tile
 	// (ElemBytes/tiles).
-	StripBytes int64
+	StripBytes int64 //mheta:units bytes
 }
 
 // StreamPlan computes the chunking for a variable with localElems local
@@ -91,6 +94,11 @@ type Stream struct {
 // arithmetic: MHETA legitimately knows it too (the paper computes NR from
 // OCLA and ICLA sizes), so the model and the executor both call it — with
 // their *own* ICLA inputs, which is where they can disagree.
+//
+//mheta:units elems localElems
+//mheta:units bytes elemBytes
+//mheta:units bytes iclaBytes
+//mheta:units blocks tiles
 func StreamPlan(localElems int, elemBytes, iclaBytes int64, tiles int) Stream {
 	if tiles < 1 {
 		tiles = 1

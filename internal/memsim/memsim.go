@@ -17,7 +17,7 @@ import "fmt"
 // application for its ICLAs (the paper emulates small memories by capping
 // exactly this quantity).
 type Budget struct {
-	Capacity int64
+	Capacity int64 //mheta:units bytes
 }
 
 // Layout describes how one distributed variable lives on one node under a
@@ -25,14 +25,14 @@ type Budget struct {
 type Layout struct {
 	Variable string
 	// OCLABytes is the size of the node's full local array on disk.
-	OCLABytes int64
+	OCLABytes int64 //mheta:units bytes
 	// ICLABytes is the size of the in-core piece; equal to OCLABytes when
 	// the variable is in core.
-	ICLABytes int64
+	ICLABytes int64 //mheta:units bytes
 	// Passes is NR: how many ICLA-sized pieces must be read (and possibly
 	// written) to process the whole local array. 1 for in-core variables
 	// (the single compulsory read).
-	Passes int
+	Passes int //mheta:units blocks
 	// InCore reports whether the whole local array fits in the budget
 	// share assigned to this variable.
 	InCore bool
@@ -65,6 +65,9 @@ func CeilDiv(a, b int64) int64 {
 //
 // varBytes maps variable name → local array bytes on this node;
 // elemSize maps variable name → bytes per element (ICLA granularity).
+//
+//mheta:units bytes varBytes
+//mheta:units bytes elemSize
 func Plan(b Budget, varBytes map[string]int64, elemSize map[string]int64) map[string]Layout {
 	out := make(map[string]Layout, len(varBytes))
 	for name, ocla := range varBytes {
@@ -77,6 +80,9 @@ func Plan(b Budget, varBytes map[string]int64, elemSize map[string]int64) map[st
 
 // PlanVar applies the independent heuristic to a single variable —
 // allocation-free, for the model's hot evaluation path.
+//
+//mheta:units bytes oclaBytes
+//mheta:units bytes elemSize
 func PlanVar(b Budget, oclaBytes, elemSize int64) Layout {
 	if elemSize <= 0 {
 		elemSize = 1

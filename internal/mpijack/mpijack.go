@@ -139,27 +139,27 @@ func (k IOKey) String() string {
 
 // IORecord accumulates the I/O observed for one key.
 type IORecord struct {
-	ReadCalls, WriteCalls int
-	ReadBytes, WriteBytes int64
+	ReadCalls, WriteCalls int   //mheta:units blocks
+	ReadBytes, WriteBytes int64 //mheta:units bytes
 	ReadTime, WriteTime   vclock.Duration
 	// OverlapCompute is ΣTov: compute time between prefetch issues and
 	// waits, measured under the Figure 5 transform; OverlapElems counts
 	// the elements processed inside those windows, so Tov-per-element is
 	// OverlapCompute/OverlapElems.
 	OverlapCompute vclock.Duration
-	OverlapElems   int64
-	PrefetchIssues int
+	OverlapElems   int64 //mheta:units elems
+	PrefetchIssues int   //mheta:units blocks
 }
 
 // CommRecord accumulates communication observed for one (section, tile).
 type CommRecord struct {
-	Sends, Recvs         int
-	SendBytes, RecvBytes int64
+	Sends, Recvs         int   //mheta:units blocks
+	SendBytes, RecvBytes int64 //mheta:units bytes
 	SendTime, RecvTime   vclock.Duration
 	WaitTime             vclock.Duration
 	Peers                map[int]bool // nIDs seen (§4.1.2)
-	Reductions           int
-	ReduceBytes          int64
+	Reductions           int          //mheta:units blocks
+	ReduceBytes          int64        //mheta:units bytes
 	ReduceTime           vclock.Duration
 }
 

@@ -28,13 +28,17 @@ import (
 // SendOverhead covers preparing and copying the message into a system
 // buffer (the "fixed overhead" of §4.2.2); PerByteSend covers the copy
 // itself growing with message size. Latency is the one-way wire latency.
+// The per-byte fields are stored as vclock.Duration so emulation code
+// can add them to clocks after multiplying by a byte count, but
+// dimensionally they are s/byte; the directives override the type's
+// intrinsic seconds.
 type Params struct {
-	SendOverhead vclock.Duration // fixed cost on the sender, seconds
-	RecvOverhead vclock.Duration // fixed cost on the receiver, seconds
-	Latency      vclock.Duration // one-way wire latency, seconds
-	PerByteSend  vclock.Duration // sender-side cost per byte
-	PerByteRecv  vclock.Duration // receiver-side cost per byte
-	PerByteWire  vclock.Duration // wire time per byte (1/bandwidth)
+	SendOverhead vclock.Duration //mheta:units seconds
+	RecvOverhead vclock.Duration //mheta:units seconds
+	Latency      vclock.Duration //mheta:units seconds
+	PerByteSend  vclock.Duration //mheta:units s/byte
+	PerByteRecv  vclock.Duration //mheta:units s/byte
+	PerByteWire  vclock.Duration //mheta:units s/byte
 }
 
 // DefaultParams returns costs typical of the paper's era (100 Mbit
@@ -53,17 +57,26 @@ func DefaultParams() Params {
 
 // SendCost returns the time the sending rank is busy for a message of the
 // given size.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (p Params) SendCost(bytes int) vclock.Duration {
 	return p.SendOverhead + vclock.Duration(bytes)*p.PerByteSend
 }
 
 // RecvCost returns the time the receiving rank is busy once the message
 // has arrived.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (p Params) RecvCost(bytes int) vclock.Duration {
 	return p.RecvOverhead + vclock.Duration(bytes)*p.PerByteRecv
 }
 
 // TransferTime returns the in-flight time for a message of the given size.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (p Params) TransferTime(bytes int) vclock.Duration {
 	return p.Latency + vclock.Duration(bytes)*p.PerByteWire
 }
@@ -116,16 +129,25 @@ func (nw *Network) perturb(d vclock.Duration) vclock.Duration {
 
 // SendCost returns the (possibly perturbed) sender busy time for a message
 // src→dst of the given size.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (nw *Network) SendCost(src, dst, bytes int) vclock.Duration {
 	return nw.perturb(nw.params[src][dst].SendCost(bytes))
 }
 
 // RecvCost returns the (possibly perturbed) receiver busy time.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (nw *Network) RecvCost(src, dst, bytes int) vclock.Duration {
 	return nw.perturb(nw.params[src][dst].RecvCost(bytes))
 }
 
 // TransferTime returns the (possibly perturbed) in-flight time.
+//
+//mheta:units bytes bytes
+//mheta:units seconds return
 func (nw *Network) TransferTime(src, dst, bytes int) vclock.Duration {
 	return nw.perturb(nw.params[src][dst].TransferTime(bytes))
 }

@@ -16,11 +16,11 @@ package vclock
 import "fmt"
 
 // Time is a point in virtual time, in seconds since the start of a run.
-type Time float64
+type Time float64 //mheta:units seconds
 
 // Duration is a span of virtual time in seconds. Durations are never
 // negative; operations that could produce a negative span clamp to zero.
-type Duration float64
+type Duration float64 //mheta:units seconds
 
 // Clock is a single rank's virtual clock. It is not safe for concurrent
 // use; each rank goroutine owns exactly one Clock.
