@@ -199,6 +199,59 @@ func BenchmarkModelEvaluatePipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaEvaluate measures one incremental (delta) evaluation over
+// the spectrum walk — the same workload as BenchmarkModelEvaluate scored
+// through core.DeltaEvaluator's cached busy terms. The delta%hit metric
+// is the fraction of candidates served by the replay path (the rest fell
+// back to full evaluation); results are bit-identical either way.
+func BenchmarkDeltaEvaluate(b *testing.B) {
+	spec := cluster.HY1(8)
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 1024, 128, 5
+	app := apps.NewJacobi(cfg)
+	params, err := instrument.Collect(spec, app, dist.Block(cfg.Rows, 8), 42, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.MustModel(params)
+	de := model.Delta()
+	pts := dist.SpectrumFull(cfg.Rows, spec, app.Prog.MustVar("B").ElemBytes, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = de.Evaluate(pts[i%len(pts)].Dist)
+	}
+	st := de.Stats()
+	if b.N > 0 && st.FullEvals <= int64(b.N) {
+		b.ReportMetric(100*(1-float64(st.FullEvals)/float64(b.N)), "delta%hit")
+	}
+}
+
+// BenchmarkDeltaEvaluatePipelined is BenchmarkModelEvaluatePipelined
+// through the delta evaluator: the pipelined (per-tile recurrence)
+// application is the model's worst case, and its busy terms cache the
+// same way — only the clock chaining replays per candidate.
+func BenchmarkDeltaEvaluatePipelined(b *testing.B) {
+	spec := cluster.DC(8)
+	cfg := apps.DefaultRNAConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 768, 128, 3
+	app := apps.NewRNA(cfg)
+	params, err := instrument.Collect(spec, app, dist.Block(cfg.Rows, 8), 42, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.MustModel(params)
+	de := model.Delta()
+	pts := dist.SpectrumFull(cfg.Rows, spec, app.Prog.MustVar("T").ElemBytes, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = de.Evaluate(pts[i%len(pts)].Dist)
+	}
+	st := de.Stats()
+	if b.N > 0 && st.FullEvals <= int64(b.N) {
+		b.ReportMetric(100*(1-float64(st.FullEvals)/float64(b.N)), "delta%hit")
+	}
+}
+
 // BenchmarkInstrumentedIteration measures the cost of the full parameter
 // acquisition (micro-benchmarks + the instrumented iteration) — the
 // one-time price the runtime pays before it can search.
@@ -241,6 +294,10 @@ func benchSearch(b *testing.B, alg string) {
 		}
 	}
 	b.ReportMetric(float64(res.Evaluations), "evals")
+	// Candidate throughput: model evaluations per wall-clock second, the
+	// figure that bounds how elaborate a runtime search can be (§5.3).
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(res.Evaluations)*1e9/perOp, "cands/s")
 	blk := model.Predict(mheta.BlockDistribution(app, spec)).Total
 	b.ReportMetric(blk/res.Time, "speedup-vs-blk")
 }
@@ -278,6 +335,7 @@ func BenchmarkSearchParallel(b *testing.B) {
 				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 				b.ReportMetric(serial/perOp, "speedup-vs-serial")
 				b.ReportMetric(float64(res.Evaluations), "evals")
+				b.ReportMetric(float64(res.Evaluations)*1e9/perOp, "cands/s")
 			})
 		}
 	}
@@ -376,6 +434,41 @@ func BenchmarkMemoisedEvaluateObserved(b *testing.B) {
 		memo.EvaluateBatchInto(out, ds)
 	}
 	b.ReportMetric(float64(len(ds)), "dists/batch")
+}
+
+// BenchmarkMemoConcurrentBatches measures warm batch evaluation on one
+// shared memo from GOMAXPROCS concurrent callers — the convoy case for a
+// design that serialises whole batches behind a single scratch mutex.
+// The acceptance is no throughput cliff versus the serial
+// BenchmarkMemoisedEvaluate: per-call ns/op should stay in the same
+// ballpark as the serial warm batch rather than multiplying by the
+// caller count.
+func BenchmarkMemoConcurrentBatches(b *testing.B) {
+	spec := cluster.HY1(8)
+	cfg := apps.DefaultJacobiConfig()
+	cfg.Rows, cfg.Cols, cfg.Iterations = 1024, 128, 5
+	app := apps.NewJacobi(cfg)
+	model, err := mheta.Instrument(spec, app, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := dist.SpectrumFull(cfg.Rows, spec, app.Prog.MustVar("B").ElemBytes, 8)
+	ds := make([]dist.Distribution, len(pts))
+	for i, pt := range pts {
+		ds[i] = pt.Dist
+	}
+	memo := search.NewMemo(search.ModelEvaluator{Model: model})
+	warm := make([]float64, len(ds))
+	memo.EvaluateBatchInto(warm, ds) // every batch below is fully memoised
+	b.ReportMetric(float64(len(ds)), "dists/batch")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		out := make([]float64, len(ds))
+		for pb.Next() {
+			memo.EvaluateBatchInto(out, ds)
+		}
+	})
 }
 
 // --- Ablation benches (DESIGN.md §5) -----------------------------------

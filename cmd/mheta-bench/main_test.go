@@ -1,0 +1,135 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine(
+		"BenchmarkSearchGBS-8  \t  14402\t  82324 ns/op\t  45.00 evals\t  546700 cands/s\t  1234 B/op\t  5 allocs/op")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if name != "BenchmarkSearchGBS" {
+		t.Errorf("name = %q", name)
+	}
+	if res.NsPerOp != 82324 || res.BytesPerOp != 1234 || res.AllocsPerOp != 5 {
+		t.Errorf("densities = %+v", res)
+	}
+	if res.Metrics["evals"] != 45 || res.Metrics["cands/s"] != 546700 {
+		t.Errorf("metrics = %+v", res.Metrics)
+	}
+}
+
+func TestParseBenchLineSubBenchmark(t *testing.T) {
+	name, res, ok := parseBenchLine(
+		"BenchmarkSearchParallel/gbs/workers=1-16         	     100	  90000 ns/op	 1.00 speedup-vs-serial")
+	if !ok || name != "BenchmarkSearchParallel/gbs/workers=1" {
+		t.Fatalf("name = %q ok = %v", name, ok)
+	}
+	if res.NsPerOp != 90000 {
+		t.Errorf("ns/op = %v", res.NsPerOp)
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"ok  	mheta	42.1s",
+		"PASS",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"goos: linux",
+		"BenchmarkNoNs-8 100 5.0 widgets",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestScanEventsKeepsMinimum(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Output":"BenchmarkX-8 100 2000 ns/op\n"}`,
+		`{"Action":"output","Output":"BenchmarkX-8 100 1000 ns/op\n"}`,
+		`{"Action":"output","Output":"BenchmarkX-8 100 3000 ns/op"}`,
+		`{"Action":"run","Test":"BenchmarkX"}`,
+		"not json at all",
+	}, "\n")
+	res, err := parseEvents(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkX"].NsPerOp; got != 1000 {
+		t.Errorf("kept %v ns/op, want the 1000 minimum", got)
+	}
+}
+
+// TestScanEventsReassemblesSplitLines covers test2json's flush behaviour:
+// the benchmark name and its timing arrive in separate Output events, with
+// unrelated tests' output interleaved between them.
+func TestScanEventsReassemblesSplitLines(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Test":"BenchmarkY","Output":"BenchmarkY    \t"}`,
+		`{"Action":"output","Test":"BenchmarkZ","Output":"BenchmarkZ-4 50 7000 ns/op\n"}`,
+		`{"Action":"output","Test":"BenchmarkY","Output":"  141955\t       918.4 ns/op\t      64 B/op\t       1 allocs/op\n"}`,
+	}, "\n")
+	res, err := parseEvents(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkY"].NsPerOp; got != 918.4 {
+		t.Errorf("BenchmarkY ns/op = %v, want 918.4", got)
+	}
+	if got := res["BenchmarkY"].AllocsPerOp; got != 1 {
+		t.Errorf("BenchmarkY allocs/op = %v, want 1", got)
+	}
+	if got := res["BenchmarkZ"].NsPerOp; got != 7000 {
+		t.Errorf("BenchmarkZ ns/op = %v, want 7000", got)
+	}
+}
+
+func TestCompareGating(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkSearchGBS":     {NsPerOp: 1000, Metrics: map[string]float64{"cands/s": 100}},
+		"BenchmarkSearchSlow":    {NsPerOp: 1000},
+		"BenchmarkSearchAllocs":  {NsPerOp: 1000, AllocsPerOp: 2},
+		"BenchmarkModelEvaluate": {NsPerOp: 1000},
+		"BenchmarkGone":          {NsPerOp: 1},
+	}}
+	cur := map[string]Result{
+		"BenchmarkSearchGBS":     {NsPerOp: 200, Metrics: map[string]float64{"cands/s": 600}}, // improved
+		"BenchmarkSearchSlow":    {NsPerOp: 1600},                                             // ns regression
+		"BenchmarkSearchAllocs":  {NsPerOp: 1000, AllocsPerOp: 3},                             // alloc regression
+		"BenchmarkModelEvaluate": {NsPerOp: 9000},                                             // ungated: info only
+		"BenchmarkDeltaEvaluate": {NsPerOp: 50},                                               // new
+	}
+	gate := regexp.MustCompile("^BenchmarkSearch")
+	rep := compare(base, cur, gate, 1.5)
+	if rep.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2\n%+v", rep.Regressions, rep.Rows)
+	}
+	status := make(map[string]string)
+	for _, r := range rep.Rows {
+		status[r.Name] = r.Status
+	}
+	want := map[string]string{
+		"BenchmarkSearchGBS":     "ok",
+		"BenchmarkSearchSlow":    "regression",
+		"BenchmarkSearchAllocs":  "regression",
+		"BenchmarkModelEvaluate": "info",
+		"BenchmarkDeltaEvaluate": "new",
+		"BenchmarkGone":          "missing",
+	}
+	for n, w := range want {
+		if status[n] != w {
+			t.Errorf("%s: status %q, want %q", n, status[n], w)
+		}
+	}
+	// Metric notes surface the cands/s trajectory.
+	for _, r := range rep.Rows {
+		if r.Name == "BenchmarkSearchGBS" && !strings.Contains(r.MetricNotes, "cands/s") {
+			t.Errorf("missing cands/s note: %+v", r)
+		}
+	}
+}

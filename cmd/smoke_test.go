@@ -57,6 +57,7 @@ func TestHelp(t *testing.T) {
 		"mheta-search":      "-alg",
 		"mheta-experiments": "-which",
 		"mheta-lint":        "maporder",
+		"mheta-bench":       "-baseline",
 	} {
 		out, err := exec.Command(filepath.Join(binDir, bin), "-h").CombinedOutput()
 		if err != nil {

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+
+	"mheta/internal/program"
+)
+
+// Incremental (delta) model evaluation.
+//
+// A candidate distribution differs from its search neighbour in only a
+// few ranks (a mutation moves elements between two nodes; a GBS probe
+// slides along a two-anchor leg). The expensive part of Predict — the
+// residency plan and the per-section busy terms — depends only on the
+// node's *own* block count, never on the other nodes or on the clocks, so
+// those terms can be cached per (section, node, width) and replayed bit
+// for bit. Only the cheap clock chaining (which genuinely couples the
+// nodes) runs per candidate.
+//
+// The single cross-node coupling inside the busy terms is the shared-disk
+// contention factor kShared, which is >1 only when SharedDisk is set and
+// more than one node streams. The cache therefore stores terms computed
+// at kShared == 1 and falls back to the full path the moment a candidate
+// would stream on more than one shared-disk node. Weighted iterations
+// (IterWeights) rescale the compute part of every busy term per
+// iteration, which a width-keyed cache cannot represent, so they also
+// take the full path. Fallbacks are correctness-neutral: both paths feed
+// the same chain() implementation, so results are bit-identical either
+// way (see DESIGN.md §5.12).
+
+// deltaMaxBytes caps the busy-term cache footprint; parameter sets whose
+// sections × nodes × widths table would exceed it run uncached.
+const deltaMaxBytes = 64 << 20 //mheta:units bytes
+
+// deltaPageShift sizes the cache pages: each page covers 1<<deltaPageShift
+// consecutive widths of one node. A search visits a narrow band of widths
+// around the balanced point, so paging keeps a cold cache's allocation
+// proportional to the widths actually seen rather than the problem size —
+// pool worker clones start cold every search, and a flat
+// (maxW+1)×sections row per node made that cold start the dominant cost
+// of small parallel searches.
+const (
+	deltaPageShift = 6
+	deltaPageMask  = 1<<deltaPageShift - 1
+)
+
+// DeltaEvaluator caches per-(section, node, width) busy terms for one
+// Model and evaluates candidate distributions by replaying cached terms
+// through the model's clock chaining. Like the Model, it is not safe for
+// concurrent use; Model.Clone gives each goroutine its own (cold) one.
+type DeltaEvaluator struct {
+	m *Model
+	// maxW is the largest representable block count (the problem size):
+	// distributions partition ΣBaseDist elements, so no rank exceeds it.
+	maxW int //mheta:units elems
+	// rows[p][w>>deltaPageShift][(w&deltaPageMask)*S+si] is
+	// sectionBusy(si, p, w) at kShared == 1, or NaN while unfilled
+	// (S = section count). Keeping one node's sections contiguous means a
+	// candidate replay reads S adjacent entries, instead of S scattered
+	// rows; paging by width keeps cold-cache allocation proportional to
+	// the widths visited. Page tables and pages allocate lazily; fillNode
+	// populates every section's entry for a (p, w) at once, so testing
+	// the si == 0 slot decides presence for all sections.
+	rows [][][]float64 //mheta:units seconds
+	// streamBit[p][w] caches whether rank p streams at width w (0 unknown,
+	// 1 resident, 2 streaming). Allocated only under SharedDisk, where the
+	// census gates the kShared fallback before any busy lookup.
+	streamBit [][]int8
+	// busy is the evaluator's private replay table, same shape as the
+	// model's busy2D. Owning it (nothing else writes it — full-path
+	// fallbacks write m.busy2D) is what makes the lastD short-circuit
+	// sound: busy[si][p] stays valid for as long as rank p's width is
+	// unchanged, because the terms depend only on (si, p, width) at
+	// kShared == 1.
+	busy [][]float64 //mheta:units seconds
+	// b0, b1 alias busy[0]/busy[1] when the program has exactly two
+	// sections (the iterative stencil+reduction shape of the paper's
+	// benchmarks), hoisting the replay loop's column slices out of the
+	// per-candidate path; nil otherwise.
+	b0, b1 []float64 //mheta:units seconds
+	// lastD[p] is the width busy currently holds for rank p, or -1 when
+	// that column has never been written. Successive search candidates
+	// differ in a handful of ranks, so the per-eval replay touches only
+	// the changed columns.
+	lastD   []int //mheta:units elems
+	enabled bool
+	// fused marks the two-section [nearest-neighbour, all-reduce]
+	// eight-rank program shape, for which Evaluate chains both model
+	// iterations through the register-resident jacobi8 kernel (clocks
+	// never touch memory) whenever every rank is active. Fallbacks — any
+	// zero width — run the generic chain path; both produce bit-identical
+	// results.
+	fused bool
+	stats DeltaStats
+}
+
+// DeltaStats counts cache traffic. Plain counters: the evaluator has the
+// same single-goroutine contract as the Model it wraps.
+type DeltaStats struct {
+	// Hits and Misses count per-node busy-row lookups on the delta path.
+	Hits   int64
+	Misses int64
+	// FullEvals counts candidates that fell back to the full path.
+	FullEvals int64
+}
+
+// NewDeltaEvaluator builds a delta evaluator for m. The cache is disabled
+// (every Evaluate falls back to the full path) when the busy-term table
+// would exceed deltaMaxBytes or the parameter set has no distributed
+// work.
+func NewDeltaEvaluator(m *Model) *DeltaEvaluator {
+	maxW := 0
+	for _, w := range m.p.BaseDist {
+		maxW += w
+	}
+	de := &DeltaEvaluator{m: m, maxW: maxW}
+	n := m.p.Nodes
+	widths := int64(maxW) + 1
+	footprint := int64(len(m.p.Sections)) * int64(n) * widths * 8 //mheta:units bytes
+	if maxW > 0 && len(m.p.Sections) > 0 && footprint <= deltaMaxBytes {
+		de.enabled = true
+		de.rows = make([][][]float64, n)
+		de.busy = makeBusy2D(len(m.p.Sections), n)
+		de.lastD = make([]int, n)
+		for p := range de.lastD {
+			de.lastD[p] = -1
+		}
+		if m.p.SharedDisk {
+			de.streamBit = make([][]int8, n)
+		}
+		if len(m.p.Sections) == 2 {
+			de.b0, de.b1 = de.busy[0][:n], de.busy[1][:n]
+		}
+		de.fused = n == 8 && len(m.p.Sections) == 2 &&
+			m.p.Sections[0].Comm == program.CommNearestNeighbor &&
+			m.p.Sections[1].Comm == program.CommReduction
+	}
+	return de
+}
+
+// Model returns the model the evaluator wraps.
+func (de *DeltaEvaluator) Model() *Model { return de.m }
+
+// Stats returns the cache counters so far.
+func (de *DeltaEvaluator) Stats() DeltaStats { return de.stats }
+
+// Evaluate predicts the total run time for distribution d, replaying
+// cached busy terms where possible. The result is bit-identical to
+// de.Model().Predict(d).Total — both paths share the model's chain() —
+// and the boolean reports whether the delta path was taken (false means
+// a full evaluation ran, counted in Stats().FullEvals).
+//
+//mheta:units elems d
+//mheta:units seconds return
+func (de *DeltaEvaluator) Evaluate(d []int) (float64, bool) {
+	m := de.m
+	n := m.p.Nodes
+	if !de.enabled || len(d) != n || m.p.IterWeights != nil {
+		de.stats.FullEvals++
+		return m.PredictTotal(d), false
+	}
+	if m.p.SharedDisk {
+		// Census first: cached busy terms assume kShared == 1, which
+		// holds unless more than one node streams through the shared
+		// disk. Widths are range-checked here; the private-disk path
+		// checks inside the replay loop instead.
+		streaming := 0
+		for p, w := range d {
+			if w < 0 || w > de.maxW {
+				de.stats.FullEvals++
+				return m.PredictTotal(d), false
+			}
+			bits := de.streamBit[p]
+			if bits == nil {
+				bits = make([]int8, de.maxW+1)
+				de.streamBit[p] = bits
+			}
+			b := bits[w]
+			if b == 0 {
+				b = 1
+				if m.residencyNode(p, w) {
+					b = 2
+				}
+				bits[w] = b
+			}
+			if b == 2 {
+				streaming++
+			}
+		}
+		if streaming > 1 {
+			de.stats.FullEvals++
+			return m.PredictTotal(d), false
+		}
+	}
+	// Busy terms are cached at kShared == 1; make the on-miss
+	// sectionBusy calls see the same factor.
+	m.kShared = 1
+	S := len(m.p.Sections)
+	rows := de.rows[:n] // reslices bound the replay loop's checks once
+	lastD := de.lastD[:n]
+	d = d[:n]
+	// Two-section programs replay through the column slices hoisted at
+	// construction (de.b0/de.b1), sparing the inner per-section loop its
+	// slice-header loads and bounds checks.
+	b0, b1 := de.b0, de.b1
+	hits, misses := 0, 0
+	allPos := true
+	for p := 0; p < n; p++ {
+		w := d[p]
+		if w <= 0 {
+			allPos = false
+		}
+		if lastD[p] == w { // busy column p already holds width w's terms
+			hits++
+			continue
+		}
+		if uint(w) > uint(de.maxW) { // negative or beyond the problem size
+			// Columns updated so far stay valid (lastD tracks them), so
+			// bailing mid-loop leaves the cache consistent.
+			de.stats.Hits += int64(hits)
+			de.stats.Misses += int64(misses)
+			de.stats.FullEvals++
+			return m.PredictTotal(d), false
+		}
+		var r []float64
+		if pt := rows[p]; pt != nil {
+			r = pt[w>>deltaPageShift]
+		}
+		base := (w & deltaPageMask) * S
+		if r == nil || r[base] != r[base] { // NaN: unfilled
+			misses++
+			de.fillNode(p, w)
+			r = rows[p][w>>deltaPageShift]
+		} else {
+			hits++
+		}
+		if b0 != nil {
+			b0[p], b1[p] = r[base], r[base+1]
+		} else {
+			for si := 0; si < S; si++ {
+				de.busy[si][p] = r[base+si]
+			}
+		}
+		lastD[p] = w
+	}
+	de.stats.Hits += int64(hits)
+	de.stats.Misses += int64(misses)
+	if de.fused && allPos {
+		// Every rank active on the fused shape: both iterations chain
+		// through registers, skipping the clock zeroing and the
+		// active-set recompute entirely.
+		t1, t2 := jacobi8(b0, b1, &m.secNet[0], &m.secNet[1]) //mheta:units seconds
+		return t1 + float64(m.p.Iterations-1)*(t2-t1), true
+	}
+	clock := m.clock
+	for p := range clock {
+		clock[p] = 0
+	}
+	m.computeActive(d)
+	t1 := m.chain(de.busy, d, nil) //mheta:units seconds
+	t2 := m.chain(de.busy, d, nil) //mheta:units seconds
+	return t1 + float64(m.p.Iterations-1)*(t2-t1), true
+}
+
+// Warm primes the cache rows for d's widths without chaining (used by
+// search front ends to pre-fill a batch's common ancestor). Purely an
+// optimisation: it never changes what Evaluate returns.
+//
+//mheta:units elems d
+func (de *DeltaEvaluator) Warm(d []int) {
+	if !de.enabled || len(d) != de.m.p.Nodes {
+		return
+	}
+	de.m.kShared = 1
+	S := len(de.m.p.Sections)
+	for p, w := range d {
+		if w < 0 || w > de.maxW {
+			continue
+		}
+		var r []float64
+		if pt := de.rows[p]; pt != nil {
+			r = pt[w>>deltaPageShift]
+		}
+		if base := (w & deltaPageMask) * S; r == nil || r[base] != r[base] {
+			de.stats.Misses++
+			de.fillNode(p, w)
+		}
+	}
+}
+
+// fillNode plans rank p's residency at width w and computes every
+// section's busy term for (p, w) into the cache, allocating the node's
+// page table and the width's page on first touch. Filling all sections
+// together keeps presence consistent: the si == 0 slot decides hits for
+// the whole column.
+//
+//mheta:units elems w
+func (de *DeltaEvaluator) fillNode(p, w int) {
+	m := de.m
+	S := len(m.p.Sections)
+	pt := de.rows[p]
+	if pt == nil {
+		pt = make([][]float64, de.maxW>>deltaPageShift+1)
+		de.rows[p] = pt
+	}
+	pg := pt[w>>deltaPageShift]
+	if pg == nil {
+		pg = make([]float64, (deltaPageMask+1)*S)
+		for i := range pg {
+			pg[i] = math.NaN()
+		}
+		pt[w>>deltaPageShift] = pg
+	}
+	m.residencyNode(p, w)
+	base := (w & deltaPageMask) * S
+	for si := range m.p.Sections {
+		pg[base+si] = m.sectionBusy(si, &m.p.Sections[si], p, w, 1)
+	}
+}

@@ -19,19 +19,66 @@ type Model struct {
 	// lookups.
 	//lint:shared compiled once in NewModel, read-only thereafter; clones share the table.
 	stageVar [][]int
+	// secNet[si] holds section si's network costs, evaluated once from the
+	// parameter set so the per-candidate chaining does no cost arithmetic.
+	//lint:shared compiled once in NewModel, read-only thereafter; clones share the table.
+	secNet []secNet
+	// reduceEdges and bcastEdges are the binomial reduce/broadcast tree
+	// schedules for Nodes ranks, compiled once; replaying them edge by edge
+	// reproduces the executor's loop order exactly (see reduceTree).
+	//lint:shared compiled once in NewModel, read-only thereafter; clones share the schedule.
+	reduceEdges []treeEdge
+	//lint:shared compiled once in NewModel, read-only thereafter; clones share the schedule.
+	bcastEdges []treeEdge
+	// allredEdges is reduceEdges followed by bcastEdges in one slice, so
+	// the all-reduce replay — every section reduction in the bench
+	// workloads — runs as a single edge loop.
+	//lint:shared compiled once in NewModel, read-only thereafter; clones share the schedule.
+	allredEdges []treeEdge
 	// scratch, reused across Predict calls (a Model is not safe for
 	// concurrent use; clone one per goroutine with Clone).
-	clock    []float64 //mheta:units seconds
-	busy     []float64 //mheta:units seconds
-	sendDone []float64 //mheta:units seconds
-	prevTile []float64 //mheta:units seconds
-	curTile  []float64 //mheta:units seconds
-	active   []int
+	clock []float64 //mheta:units seconds
+	// busy2D[si][p] is node p's busy term for section si under the
+	// distribution being evaluated (filled by fillBusy or the delta cache).
+	busy2D   [][]float64 //mheta:units seconds
+	sendDone []float64   //mheta:units seconds
+	prevTile []float64   //mheta:units seconds
+	curTile  []float64   //mheta:units seconds
+	// active is the current candidate's active-rank view (refreshed by
+	// computeActive): either allRanks (all ranks working, read-only) or
+	// activeBuf (the model-owned scratch holding a partial set).
+	active    []int
+	activeBuf []int
+	// allRanks is the identity permutation [0..Nodes), compiled once and
+	// never written; computeActive aliases it for all-active candidates.
+	//lint:shared compiled once in NewModel, read-only thereafter; clones share the table.
+	allRanks []int
 	layouts  [][]memsim.Layout // [node][distVar]
 	// kShared is the predicted shared-disk contention factor for the
 	// distribution under evaluation (1 for private disks), refreshed by
 	// residency().
 	kShared float64 //mheta:units ratio
+	// delta is the model's incremental evaluator, created lazily by
+	// Delta(). Clones start cold: the cache only affects evaluation speed,
+	// never values, so it is per-instance state like the scratch above.
+	delta *DeltaEvaluator
+}
+
+// secNet is one section's precomputed message costs: send overhead,
+// receive overhead and in-flight time for the boundary/pipeline payload
+// (MsgBytes) and the reduction payload (ReduceBytes).
+type secNet struct {
+	msgSend float64 //mheta:units seconds
+	msgRecv float64 //mheta:units seconds
+	msgWire float64 //mheta:units seconds
+	redSend float64 //mheta:units seconds
+	redRecv float64 //mheta:units seconds
+	redWire float64 //mheta:units seconds
+}
+
+// treeEdge is one reduce/broadcast tree transfer, from sender to receiver.
+type treeEdge struct {
+	from, to int32
 }
 
 // NewModel validates params and compiles them into a Model.
@@ -45,6 +92,7 @@ func NewModel(p Params) (*Model, error) {
 		varIdx[v.Name] = i
 	}
 	stageVar := make([][]int, len(p.Sections))
+	sn := make([]secNet, len(p.Sections))
 	for si, s := range p.Sections {
 		stageVar[si] = make([]int, len(s.Stages))
 		for sti, st := range s.Stages {
@@ -57,22 +105,87 @@ func NewModel(p Params) (*Model, error) {
 				stageVar[si][sti] = idx
 			}
 		}
+		sn[si] = secNet{
+			msgSend: p.Net.SendCost(s.MsgBytes),
+			msgRecv: p.Net.RecvCost(s.MsgBytes),
+			msgWire: p.Net.Transfer(s.MsgBytes),
+			redSend: p.Net.SendCost(s.ReduceBytes),
+			redRecv: p.Net.RecvCost(s.ReduceBytes),
+			redWire: p.Net.Transfer(s.ReduceBytes),
+		}
 	}
-	layouts := make([][]memsim.Layout, n)
-	for i := range layouts {
-		layouts[i] = make([]memsim.Layout, len(p.DistVars))
+	reduceEdges, bcastEdges := compileTreeEdges(n)
+	allredEdges := make([]treeEdge, 0, len(reduceEdges)+len(bcastEdges))
+	allredEdges = append(append(allredEdges, reduceEdges...), bcastEdges...)
+	allRanks := make([]int, n)
+	for p := range allRanks {
+		allRanks[p] = p
 	}
 	return &Model{
-		p:        p,
-		stageVar: stageVar,
-		clock:    make([]float64, n),
-		busy:     make([]float64, n),
-		sendDone: make([]float64, n),
-		prevTile: make([]float64, n),
-		curTile:  make([]float64, n),
-		active:   make([]int, 0, n),
-		layouts:  layouts,
+		p:           p,
+		stageVar:    stageVar,
+		secNet:      sn,
+		reduceEdges: reduceEdges,
+		bcastEdges:  bcastEdges,
+		allredEdges: allredEdges,
+		clock:       make([]float64, n),
+		busy2D:      makeBusy2D(len(p.Sections), n),
+		sendDone:    make([]float64, n),
+		prevTile:    make([]float64, n),
+		curTile:     make([]float64, n),
+		activeBuf:   make([]int, 0, n),
+		allRanks:    allRanks,
+		layouts:     makeLayouts(n, len(p.DistVars)),
 	}, nil
+}
+
+func makeBusy2D(sections, n int) [][]float64 {
+	b := make([][]float64, sections)
+	for si := range b {
+		b[si] = make([]float64, n)
+	}
+	return b
+}
+
+func makeLayouts(n, vars int) [][]memsim.Layout {
+	l := make([][]memsim.Layout, n)
+	for i := range l {
+		l[i] = make([]memsim.Layout, vars)
+	}
+	return l
+}
+
+// compileTreeEdges builds the binomial reduce and broadcast schedules for
+// n ranks. Reduce edges are grouped by ascending level; within a level the
+// sender sets are pairwise distinct from the receiver sets and each
+// receiver takes exactly one message, so replaying the per-edge kernel in
+// receiver order is exactly the executor's two-pass loop. Broadcast edges
+// are listed in the executor's literal nested order (parent ascending,
+// child mask descending), which a sequential replay preserves.
+func compileTreeEdges(n int) (reduce, bcast []treeEdge) {
+	for mask := 1; mask < n; mask <<= 1 {
+		for p := 0; p < n; p++ {
+			if p&(2*mask-1) == 0 && p+mask < n {
+				reduce = append(reduce, treeEdge{from: int32(p + mask), to: int32(p)})
+			}
+		}
+	}
+	highest := 1
+	for highest<<1 < n {
+		highest <<= 1
+	}
+	for p := 0; p < n; p++ { // parents always precede children numerically
+		start := highest
+		if p != 0 {
+			start = lowbit(p) >> 1
+		}
+		for c := start; c >= 1; c >>= 1 {
+			if child := p + c; child < n {
+				bcast = append(bcast, treeEdge{from: int32(p), to: int32(child)})
+			}
+		}
+	}
+	return reduce, bcast
 }
 
 // MustModel is NewModel for parameters known to be valid; it panics on
@@ -89,27 +202,42 @@ func MustModel(p Params) *Model {
 func (m *Model) Params() Params { return m.p }
 
 // Clone returns an independent Model sharing the (immutable) parameters,
-// for concurrent searches: clone one Model per goroutine. The params and
-// the compiled stage-variable table are shared read-only; only the
-// per-evaluation scratch is duplicated, so cloning skips re-validation and
-// costs a handful of small allocations instead of a full NewModel.
+// for concurrent searches: clone one Model per goroutine. The params, the
+// compiled stage-variable table, the section network costs and the tree
+// schedules are shared read-only; only the per-evaluation scratch is
+// duplicated, so cloning skips re-validation and costs a handful of small
+// allocations instead of a full NewModel. The clone's delta evaluator
+// starts cold (the cache affects speed, never values).
 func (m *Model) Clone() *Model {
 	n := m.p.Nodes
-	layouts := make([][]memsim.Layout, n)
-	for i := range layouts {
-		layouts[i] = make([]memsim.Layout, len(m.p.DistVars))
-	}
 	return &Model{
-		p:        m.p,
-		stageVar: m.stageVar,
-		clock:    make([]float64, n),
-		busy:     make([]float64, n),
-		sendDone: make([]float64, n),
-		prevTile: make([]float64, n),
-		curTile:  make([]float64, n),
-		active:   make([]int, 0, n),
-		layouts:  layouts,
+		p:           m.p,
+		stageVar:    m.stageVar,
+		secNet:      m.secNet,
+		reduceEdges: m.reduceEdges,
+		bcastEdges:  m.bcastEdges,
+		allredEdges: m.allredEdges,
+		clock:       make([]float64, n),
+		busy2D:      makeBusy2D(len(m.p.Sections), n),
+		sendDone:    make([]float64, n),
+		prevTile:    make([]float64, n),
+		curTile:     make([]float64, n),
+		active:      nil, // refreshed by computeActive before any read
+		activeBuf:   make([]int, 0, n),
+		allRanks:    m.allRanks,
+		layouts:     makeLayouts(m.p.Nodes, len(m.p.DistVars)),
+		delta:       nil, // clones start with a cold delta cache
 	}
+}
+
+// Delta returns the model's incremental evaluator, creating it on first
+// use. Like the Model itself it is not safe for concurrent use; clones
+// made with Clone get their own (cold) delta evaluator.
+func (m *Model) Delta() *DeltaEvaluator {
+	if m.delta == nil {
+		m.delta = NewDeltaEvaluator(m)
+	}
+	return m.delta
 }
 
 // Prediction is the output of one model evaluation.
@@ -149,6 +277,38 @@ func (m *Model) PredictDetailed(d []int) Prediction {
 	return m.predict(d, true)
 }
 
+// PredictTotal is Predict reduced to the total: the same arithmetic in the
+// same order, skipping the NodeTimes capture so search loops evaluate
+// candidates without allocating. PredictTotal(d) == Predict(d).Total
+// bit for bit.
+//
+//mheta:units elems d
+//mheta:units seconds return
+func (m *Model) PredictTotal(d []int) float64 {
+	n := m.p.Nodes
+	if len(d) != n {
+		panic(fmt.Sprintf("core: distribution has %d entries, want %d", len(d), n))
+	}
+	m.residency(d)
+	m.computeActive(d)
+	for p := 0; p < n; p++ {
+		m.clock[p] = 0
+	}
+	if m.p.IterWeights == nil {
+		m.fillBusy(d, 1)
+		t1 := m.chain(m.busy2D, d, nil) //mheta:units seconds
+		t2 := m.chain(m.busy2D, d, nil) //mheta:units seconds
+		return t1 + float64(m.p.Iterations-1)*(t2-t1)
+	}
+	w0 := m.p.IterWeights[0]
+	var last float64 //mheta:units seconds
+	for i := 0; i < m.p.Iterations; i++ {
+		m.fillBusy(d, m.p.IterWeights[i]/w0)
+		last = m.chain(m.busy2D, d, nil)
+	}
+	return last
+}
+
 //mheta:units elems d
 func (m *Model) predict(d []int, detailed bool) Prediction {
 	n := m.p.Nodes
@@ -156,59 +316,16 @@ func (m *Model) predict(d []int, detailed bool) Prediction {
 		panic(fmt.Sprintf("core: distribution has %d entries, want %d", len(d), n))
 	}
 	m.residency(d)
+	m.computeActive(d)
 	for p := 0; p < n; p++ {
 		m.clock[p] = 0
 	}
 	var sectionTimes [][]float64 //mheta:units seconds
-	var nodeTimes []float64      //mheta:units seconds
-
-	// iterate evaluates one iteration's sections with the given compute
-	// scale, chaining clocks, and returns the makespan so far.
-	//
-	//mheta:units ratio scale
-	//mheta:units seconds return
-	iterate := func(iter int, scale float64) float64 {
-		for si := range m.p.Sections {
-			s := &m.p.Sections[si]
-			// Busy time per node: all stages, all tiles (Tp of §4.2.1).
-			for p := 0; p < n; p++ {
-				m.busy[p] = m.sectionBusy(si, s, p, d[p], scale)
-			}
-			switch s.Comm {
-			case program.CommNone:
-				for p := 0; p < n; p++ {
-					m.clock[p] += m.busy[p]
-				}
-			case program.CommNearestNeighbor:
-				m.nearestNeighbor(s, d)
-			case program.CommPipeline:
-				m.pipeline(s, d)
-			case program.CommReduction:
-				for p := 0; p < n; p++ {
-					m.clock[p] += m.busy[p]
-				}
-				m.reduceTree(s.ReduceBytes, true)
-			default:
-				panic(fmt.Sprintf("core: unsupported comm pattern %v", s.Comm))
-			}
-			if detailed && iter == 0 {
-				row := make([]float64, n)
-				copy(row, m.clock)
-				sectionTimes = append(sectionTimes, row)
-			}
-		}
-		mk := 0.0
-		for p := 0; p < n; p++ {
-			if m.clock[p] > mk {
-				mk = m.clock[p]
-			}
-		}
-		if iter == 0 {
-			nodeTimes = make([]float64, n)
-			copy(nodeTimes, m.clock)
-		}
-		return mk
+	capture := (*[][]float64)(nil)
+	if detailed {
+		capture = &sectionTimes
 	}
+	nodeTimes := make([]float64, n) //mheta:units seconds
 
 	pred := Prediction{}
 	if m.p.IterWeights == nil {
@@ -217,9 +334,12 @@ func (m *Model) predict(d []int, detailed bool) Prediction {
 		// time; the difference to iteration 2's makespan is the
 		// steady-state period. Because every application's iteration ends
 		// in a collective, the inter-node clock offsets reach their fixed
-		// point after one iteration, so two are sufficient.
-		t1 := iterate(0, 1) //mheta:units seconds
-		t2 := iterate(1, 1) //mheta:units seconds
+		// point after one iteration, so two are sufficient. The busy terms
+		// carry no clock state, so one fill serves both iterations.
+		m.fillBusy(d, 1)
+		t1 := m.chain(m.busy2D, d, capture) //mheta:units seconds
+		copy(nodeTimes, m.clock)
+		t2 := m.chain(m.busy2D, d, nil) //mheta:units seconds
 		pred.Total = t1 + float64(m.p.Iterations-1)*(t2-t1)
 	} else {
 		// Nonuniform iterations (§3.1): evaluate every iteration with its
@@ -228,7 +348,13 @@ func (m *Model) predict(d []int, detailed bool) Prediction {
 		w0 := m.p.IterWeights[0]
 		var last float64 //mheta:units seconds
 		for i := 0; i < m.p.Iterations; i++ {
-			last = iterate(i, m.p.IterWeights[i]/w0)
+			m.fillBusy(d, m.p.IterWeights[i]/w0)
+			if i == 0 {
+				last = m.chain(m.busy2D, d, capture)
+				copy(nodeTimes, m.clock)
+			} else {
+				last = m.chain(m.busy2D, d, nil)
+			}
 		}
 		pred.Total = last
 	}
@@ -236,6 +362,97 @@ func (m *Model) predict(d []int, detailed bool) Prediction {
 	pred.SectionTimes = sectionTimes
 	pred.PerIteration = pred.Total / float64(m.p.Iterations)
 	return pred
+}
+
+// fillBusy computes every section's per-node busy term (Tp of §4.2.1 —
+// all stages, all tiles) into busy2D. Busy terms depend only on the
+// node's own block count, the layouts residency planned for it, and the
+// compute scale — never on the clocks — so they can be computed up front
+// and, by the delta evaluator, cached per (section, node, width).
+//
+//mheta:units elems d
+//mheta:units ratio scale
+func (m *Model) fillBusy(d []int, scale float64) {
+	for si := range m.p.Sections {
+		s := &m.p.Sections[si]
+		row := m.busy2D[si]
+		for p := range d {
+			row[p] = m.sectionBusy(si, s, p, d[p], scale)
+		}
+	}
+}
+
+// chain advances the per-node clocks through one iteration's sections
+// using the busy terms in busy2D (the full path passes m.busy2D, the
+// delta evaluator its privately owned replay table — same values either
+// way) and the active set already in m.active (callers run computeActive
+// once per candidate — the set depends only on d), and returns the
+// iteration's makespan. This is the single chaining implementation shared
+// by the full path (Predict/PredictTotal) and the delta evaluator, which
+// is what makes delta results bit-identical by construction. When
+// sectionTimes is non-nil, a cumulative per-node snapshot is appended
+// after each section.
+//
+//mheta:units seconds busy2D
+//mheta:units elems d
+//mheta:units seconds return
+func (m *Model) chain(busy2D [][]float64, d []int, sectionTimes *[][]float64) float64 {
+	n := m.p.Nodes
+	clock := m.clock[:n] // reslice so the per-node loops bounds-check once
+	sections := m.p.Sections
+	// haveMk is set when the final section's kernel already computed the
+	// clock maximum (allreduce8 keeps the clocks in registers, so its max
+	// is free); the fallback loop below reads identical values in the
+	// identical rank order, so either source is the same float.
+	haveMk := false
+	var mk float64
+	for si := range sections {
+		haveMk = false
+		s := &sections[si]
+		busy := busy2D[si][:n]
+		sn := &m.secNet[si]
+		switch s.Comm {
+		case program.CommNone:
+			for p := 0; p < n; p++ {
+				clock[p] += busy[p]
+			}
+		case program.CommNearestNeighbor:
+			if n == 8 && len(m.active) == 8 {
+				nn8(clock, busy, sn) // register-resident; bit-equal
+			} else {
+				m.nearestNeighbor(sn, busy, d)
+			}
+		case program.CommPipeline:
+			m.pipeline(sn, s.Tiles, busy, d)
+		case program.CommReduction:
+			if n == 8 {
+				mk = allreduce8(clock, busy, sn) // register-resident; bit-equal
+				haveMk = true
+			} else {
+				for p := 0; p < n; p++ {
+					clock[p] += busy[p]
+				}
+				m.reduceTree(sn, true)
+			}
+		default:
+			panic(fmt.Sprintf("core: unsupported comm pattern %v", s.Comm))
+		}
+		if sectionTimes != nil {
+			row := make([]float64, n)
+			copy(row, clock)
+			*sectionTimes = append(*sectionTimes, row)
+		}
+	}
+	if haveMk {
+		return mk
+	}
+	mk = 0.0
+	for p := 0; p < n; p++ {
+		if clock[p] > mk {
+			mk = clock[p]
+		}
+	}
+	return mk
 }
 
 // residency runs MHETA's (deliberately simple, §5.4) in-core heuristic
@@ -246,21 +463,31 @@ func (m *Model) residency(d []int) {
 	m.kShared = 1
 	streaming := 0
 	for p := 0; p < m.p.Nodes; p++ {
-		budget := memsim.Budget{Capacity: m.p.MemoryBytes[p]}
-		ooc := false
-		for vi, v := range m.p.DistVars {
-			m.layouts[p][vi] = memsim.PlanVar(budget, int64(d[p])*v.ElemBytes, v.ElemBytes)
-			if !m.layouts[p][vi].InCore {
-				ooc = true
-			}
-		}
-		if ooc && d[p] > 0 {
+		if m.residencyNode(p, d[p]) {
 			streaming++
 		}
 	}
 	if m.p.SharedDisk && streaming > 1 {
 		m.kShared = float64(streaming)
 	}
+}
+
+// residencyNode plans node p's per-variable layouts for block count w and
+// reports whether the node streams (some variable out of core and w > 0).
+// It never touches kShared — the caller owns the cross-node contention
+// census.
+//
+//mheta:units elems w
+func (m *Model) residencyNode(p, w int) bool {
+	budget := memsim.Budget{Capacity: m.p.MemoryBytes[p]}
+	ooc := false
+	for vi, v := range m.p.DistVars {
+		m.layouts[p][vi] = memsim.PlanVar(budget, int64(w)*v.ElemBytes, v.ElemBytes)
+		if !m.layouts[p][vi].InCore {
+			ooc = true
+		}
+	}
+	return ooc && w > 0
 }
 
 // sectionBusy returns node p's total computation + I/O time for a section

@@ -324,7 +324,7 @@ func TestCloneCheapSharesNoScratch(t *testing.T) {
 	}
 
 	// Every mutable scratch buffer must be distinct.
-	if &c.clock[0] == &m.clock[0] || &c.busy[0] == &m.busy[0] ||
+	if &c.clock[0] == &m.clock[0] || &c.busy2D[0][0] == &m.busy2D[0][0] ||
 		&c.sendDone[0] == &m.sendDone[0] || &c.prevTile[0] == &m.prevTile[0] ||
 		&c.curTile[0] == &m.curTile[0] || &c.layouts[0][0] == &m.layouts[0][0] {
 		t.Fatal("clone shares scratch buffers with the parent")

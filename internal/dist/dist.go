@@ -248,18 +248,43 @@ func ProportionalInto(dst Distribution, total int, weights []float64) Distributi
 	if wsum <= 0 {
 		panic("dist: Proportional with no positive weights")
 	}
-	return largestRemainder(dst, total, wsum, n, func(i int) float64 { return weights[i] })
+	return largestRemainder(dst, total, wsum, weights)
 }
 
-// largestRemainder fills dst (resized to n, reusing capacity) with the
-// largest-remainder rounding of total split proportionally to weight(i),
-// normalised by wsum (the precomputed sum of positive weights). Instead of
-// keeping a fractional-part scratch array it recomputes each weight's
-// exact share on demand and detects already-topped-up entries by comparing
-// dst[i] against the share's floor — identical selection order to the
-// classic array formulation (first strict maximum wins, ties break toward
-// lower index), with zero allocations when dst capacity suffices.
-func largestRemainder(dst Distribution, total int, wsum float64, n int, weight func(int) float64) Distribution {
+// largestRemainder fills dst (resized to len(ws), reusing capacity) with
+// the largest-remainder rounding of total split proportionally to ws[i],
+// normalised by wsum (the precomputed sum of positive weights). ws is not
+// modified; the fractional parts go to a stack buffer sized in tiers (16,
+// then 64, heap beyond) so the common small-cluster case zeroes only 128
+// bytes of frame.
+func largestRemainder(dst Distribution, total int, wsum float64, ws []float64) Distribution {
+	n := len(ws)
+	var fracs []float64
+	if n <= 16 {
+		var small [16]float64
+		fracs = small[:n]
+	} else if n <= 64 {
+		var big [64]float64
+		fracs = big[:n]
+	} else {
+		fracs = make([]float64, n)
+	}
+	return largestRemainderInto(dst, total, wsum, ws, fracs)
+}
+
+// largestRemainderInto is largestRemainder with a caller-provided
+// fractional-parts buffer (len(fracs) must equal len(ws)). fracs may
+// alias ws exactly — each slot is read as a weight before it is rewritten
+// as a fraction — which is how LerpInto rounds without any second buffer.
+// Entries that received their extra element are marked frac = −1, which
+// preserves the selection order of the recompute formulation exactly:
+// first strict maximum wins, ties break toward lower index, marked
+// entries (−1) lose to every live candidate (≥ 0). Each weight is read
+// once instead of once per leftover pass, which matters because LerpInto
+// sits in the GBS probe loop. Zero allocations when dst capacity
+// suffices.
+func largestRemainderInto(dst Distribution, total int, wsum float64, ws, fracs []float64) Distribution {
+	n := len(ws)
 	if cap(dst) >= n {
 		dst = dst[:n]
 	} else {
@@ -267,40 +292,28 @@ func largestRemainder(dst Distribution, total int, wsum float64, n int, weight f
 	}
 	assigned := 0
 	for i := 0; i < n; i++ {
-		w := weight(i)
+		w := ws[i]
 		if w <= 0 {
 			dst[i] = 0
+			fracs[i] = 0 // still a (last-resort) candidate, as before
 			continue
 		}
 		exact := float64(total) * w / wsum
-		dst[i] = int(exact)
-		assigned += dst[i]
+		floor := int(exact)
+		dst[i] = floor
+		fracs[i] = exact - float64(floor)
+		assigned += floor
 	}
 	// Hand the leftover elements to the largest fractional parts; ties
-	// break toward lower index for determinism. frac(i) is recomputed per
-	// pass (same IEEE expression, hence bit-identical each time); an entry
-	// that already received its extra element has dst[i] == floor+1 and is
-	// excluded, exactly like the frac=-1 marker of the array version.
+	// break toward lower index for determinism.
 	for assigned < total {
-		best, bestFrac := -1, 0.0
-		for i := 0; i < n; i++ {
-			w := weight(i)
-			frac, floor := 0.0, 0
-			if w > 0 {
-				exact := float64(total) * w / wsum
-				floor = int(exact)
-				frac = exact - float64(floor)
-			}
-			if dst[i] > floor {
-				continue // already topped up
-			}
-			if best == -1 || frac > bestFrac {
-				best, bestFrac = i, frac
+		best, bestFrac := 0, fracs[0]
+		for i := 1; i < n; i++ {
+			if fracs[i] > bestFrac {
+				best, bestFrac = i, fracs[i]
 			}
 		}
-		if best == -1 {
-			best = 0 // unreachable outside pathological fp; match array version
-		}
+		fracs[best] = -1
 		dst[best]++
 		assigned++
 	}
@@ -308,10 +321,11 @@ func largestRemainder(dst Distribution, total int, wsum float64, n int, weight f
 }
 
 // capRepair shifts elements from over-capacity nodes to nodes with
-// headroom, preserving the total. If total capacity is insufficient the
-// overflow stays where it is (the caller decided that is acceptable).
+// headroom, preserving the total; d is modified in place and returned
+// (both callers pass a freshly built distribution they own). If total
+// capacity is insufficient the overflow stays where it is (the caller
+// decided that is acceptable).
 func capRepair(d Distribution, caps []int) Distribution {
-	d = d.Clone()
 	for {
 		over, under := -1, -1
 		for i := range d {

@@ -120,9 +120,10 @@ func Lerp(a, b Distribution, t float64) Distribution {
 }
 
 // LerpInto is Lerp writing into dst's backing array when its capacity
-// suffices (dst may be nil). The interpolated weights are recomputed on
-// the fly instead of materialised, so the reuse path allocates nothing —
-// this is what the GBS inner loop calls per probe.
+// suffices (dst may be nil). The interpolated weights are computed once
+// into a fixed stack buffer (heap only beyond 64 nodes), so the reuse
+// path allocates nothing — this is what the GBS inner loop calls per
+// probe.
 func LerpInto(dst Distribution, a, b Distribution, t float64) Distribution {
 	if len(a) != len(b) {
 		panic("dist: Lerp length mismatch")
@@ -135,19 +136,32 @@ func LerpInto(dst Distribution, a, b Distribution, t float64) Distribution {
 	}
 	// A node with zero in both anchors has weight 0 and correctly receives
 	// nothing; no epsilon needed. If every weight is zero (total==0),
-	// return a copy of a.
+	// return a copy of a. The weight buffer is tiered like
+	// largestRemainder's and doubles as the rounding's fraction buffer
+	// (largestRemainderInto allows exact aliasing), so a probe zeroes one
+	// small stack array and allocates nothing.
+	var ws []float64
+	if n := len(a); n <= 16 {
+		var small [16]float64
+		ws = small[:n]
+	} else if n <= 64 {
+		var big [64]float64
+		ws = big[:n]
+	} else {
+		ws = make([]float64, n)
+	}
 	var wsum float64
 	for i := range a {
-		if w := (1-t)*float64(a[i]) + t*float64(b[i]); w > 0 {
+		w := (1-t)*float64(a[i]) + t*float64(b[i])
+		ws[i] = w
+		if w > 0 {
 			wsum += w
 		}
 	}
 	if wsum <= 0 {
 		return copyInto(dst, a)
 	}
-	return largestRemainder(dst, a.Total(), wsum, len(a), func(i int) float64 {
-		return (1-t)*float64(a[i]) + t*float64(b[i])
-	})
+	return largestRemainderInto(dst, a.Total(), wsum, ws, ws)
 }
 
 // copyInto copies src into dst, reusing dst's capacity when possible.

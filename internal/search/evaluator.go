@@ -3,6 +3,7 @@ package search
 import (
 	"mheta/internal/core"
 	"mheta/internal/dist"
+	"mheta/internal/obs"
 )
 
 // ModelEvaluator adapts a MHETA model to the Evaluator interface,
@@ -16,7 +17,7 @@ type ModelEvaluator struct {
 
 // Evaluate implements Evaluator.
 func (m ModelEvaluator) Evaluate(d dist.Distribution) float64 {
-	return m.Model.Predict(d).Total
+	return m.Model.PredictTotal(d)
 }
 
 // CloneEvaluator implements CloneableEvaluator: a Model reuses scratch
@@ -25,4 +26,143 @@ func (m ModelEvaluator) Evaluate(d dist.Distribution) float64 {
 // produce bit-identical predictions.
 func (m ModelEvaluator) CloneEvaluator() Evaluator {
 	return ModelEvaluator{Model: m.Model.Clone()}
+}
+
+// DeltaModelEvaluator adapts a model's incremental evaluator
+// (core.DeltaEvaluator) to the search interfaces. Scores are bit-identical
+// to ModelEvaluator — the delta cache affects only speed — so swapping it
+// in changes no search outcome, only the candidates/second rate. It is a
+// BaseEvaluator/BaseBatchEvaluator: searchers name each batch's ancestor,
+// which primes the cache rows the batch's candidates share with it (this
+// is what makes pool worker clones, whose caches start cold, warm up in
+// one step instead of per candidate).
+//
+// Like the Model it wraps, a DeltaModelEvaluator is single-goroutine;
+// CloneEvaluator gives each pool worker its own model clone and cold
+// cache, while the observability counters stay shared so the registry
+// sees whole-search totals.
+type DeltaModelEvaluator struct {
+	de *core.DeltaEvaluator
+	// lastBase is a private copy of the base most recently warmed,
+	// deduplicating consecutive EvaluateFrom calls against the same
+	// ancestor with a plain element compare (cheaper than hashing for the
+	// short distributions searches use, and exact).
+	lastBase dist.Distribution
+	haveBase bool
+	// Delta-path observability (nil when unobserved; see Observe). Shared
+	// across clones: obs.Counter is atomic.
+	//lint:shared atomic counters aggregate across pool worker clones by design
+	obsHit *obs.Counter
+	//lint:shared atomic counters aggregate across pool worker clones by design
+	obsFull *obs.Counter
+}
+
+// NewDeltaModelEvaluator builds a delta evaluator over model (using the
+// model's lazily-created core.DeltaEvaluator).
+func NewDeltaModelEvaluator(model *core.Model) *DeltaModelEvaluator {
+	return &DeltaModelEvaluator{de: model.Delta()}
+}
+
+// Observe registers the delta-path counters on r: search.delta.hit counts
+// candidates served by the cache-replay path, search.delta.full counts
+// fall-backs to full evaluation. Call before the pool clones workers so
+// the clones share them. A nil registry disables them.
+func (e *DeltaModelEvaluator) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.obsHit = r.Counter("search.delta.hit")
+	e.obsFull = r.Counter("search.delta.full")
+}
+
+// Model returns the underlying model.
+func (e *DeltaModelEvaluator) Model() *core.Model { return e.de.Model() }
+
+// Stats returns the underlying cache counters.
+func (e *DeltaModelEvaluator) Stats() core.DeltaStats { return e.de.Stats() }
+
+// Evaluate implements Evaluator.
+func (e *DeltaModelEvaluator) Evaluate(d dist.Distribution) float64 {
+	v, usedDelta := e.de.Evaluate(d)
+	if usedDelta {
+		e.obsHit.Inc()
+	} else {
+		e.obsFull.Inc()
+	}
+	return v
+}
+
+// EvaluateFrom implements BaseEvaluator. The base primes the cache; the
+// returned score is exactly Evaluate(d).
+func (e *DeltaModelEvaluator) EvaluateFrom(base, d dist.Distribution) float64 {
+	e.warm(base)
+	return e.Evaluate(d)
+}
+
+// EvaluateBatchInto implements BatchEvaluator (serially — concurrency is
+// the Pool's job). The delta-path counters are flushed once per batch
+// rather than per candidate.
+func (e *DeltaModelEvaluator) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
+	if len(out) != len(ds) {
+		panic("search: batch output length mismatch")
+	}
+	e.evalBatch(out, ds)
+}
+
+// EvaluateBatchFromInto implements BaseBatchEvaluator.
+func (e *DeltaModelEvaluator) EvaluateBatchFromInto(out []float64, base dist.Distribution, ds []dist.Distribution) {
+	if len(out) != len(ds) {
+		panic("search: batch output length mismatch")
+	}
+	e.warm(base)
+	e.evalBatch(out, ds)
+}
+
+// evalBatch scores ds serially, accumulating the hit/full counts locally
+// so the shared atomic counters are touched once per batch instead of
+// once per candidate.
+func (e *DeltaModelEvaluator) evalBatch(out []float64, ds []dist.Distribution) {
+	hit, full := 0, 0
+	for i, d := range ds {
+		v, usedDelta := e.de.Evaluate(d)
+		if usedDelta {
+			hit++
+		} else {
+			full++
+		}
+		out[i] = v
+	}
+	if hit > 0 {
+		e.obsHit.Add(int64(hit))
+	}
+	if full > 0 {
+		e.obsFull.Add(int64(full))
+	}
+}
+
+// warm primes the cache rows for base's widths, at most once per distinct
+// consecutive base.
+func (e *DeltaModelEvaluator) warm(base dist.Distribution) {
+	if base == nil {
+		return
+	}
+	if e.haveBase && base.Equal(e.lastBase) {
+		return
+	}
+	e.lastBase = append(e.lastBase[:0], base...)
+	e.haveBase = true
+	e.de.Warm(base)
+}
+
+// CloneEvaluator implements CloneableEvaluator: each clone wraps its own
+// model clone (cold cache, bit-identical scores) and shares the atomic
+// observability counters.
+func (e *DeltaModelEvaluator) CloneEvaluator() Evaluator {
+	return &DeltaModelEvaluator{
+		de:       e.de.Model().Clone().Delta(),
+		lastBase: nil,
+		haveBase: false,
+		obsHit:   e.obsHit,
+		obsFull:  e.obsFull,
+	}
 }

@@ -42,7 +42,16 @@ type CloneableEvaluator interface {
 // BatchEvaluator, so every searcher accepts one directly. It has no
 // background goroutines and needs no Close; workers are spawned per
 // batch and a single-worker Pool evaluates inline.
+//
+// A Pool may be shared by concurrent callers — a Memo forwards
+// overlapping batches' fresh sets concurrently — so calls serialise on an
+// internal mutex: the worker evaluators are typically single-goroutine
+// model clones, and parallelism happens across workers inside one call,
+// never across calls.
 type Pool struct {
+	// mu serialises calls: each call needs exclusive use of the worker
+	// evaluator set.
+	mu  sync.Mutex
 	evs []Evaluator
 
 	// Observability (nil when unobserved; see Observe). Worker
@@ -94,6 +103,8 @@ func (p *Pool) Workers() int { return len(p.evs) }
 
 // Evaluate implements Evaluator on worker 0.
 func (p *Pool) Evaluate(d dist.Distribution) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.obsWorker != nil {
 		p.obsEvals.Inc()
 		p.obsWorker[0].Inc()
@@ -113,9 +124,33 @@ func (p *Pool) EvaluateBatch(ds []dist.Distribution) []float64 {
 // by worker i%workers, each worker striding through the batch on its own
 // evaluator.
 func (p *Pool) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
+	p.EvaluateBatchFromInto(out, nil, ds)
+}
+
+// EvaluateFrom implements BaseEvaluator on worker 0, forwarding the base
+// when the worker's evaluator is base-aware.
+func (p *Pool) EvaluateFrom(base, d dist.Distribution) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.obsWorker != nil {
+		p.obsEvals.Inc()
+		p.obsWorker[0].Inc()
+	}
+	if be, ok := p.evs[0].(BaseEvaluator); ok {
+		return be.EvaluateFrom(base, d)
+	}
+	return p.evs[0].Evaluate(d)
+}
+
+// EvaluateBatchFromInto implements BaseBatchEvaluator: the deterministic
+// i%workers stride of EvaluateBatchInto, with the batch's ancestor handed
+// to every base-aware worker (each warms its own clone's cache once).
+func (p *Pool) EvaluateBatchFromInto(out []float64, base dist.Distribution, ds []dist.Distribution) {
 	if len(out) != len(ds) {
 		panic("search: batch output length mismatch")
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	w := len(p.evs)
 	if w > len(ds) {
 		w = len(ds)
@@ -129,7 +164,7 @@ func (p *Pool) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
 	}
 	if w <= 1 {
 		if len(ds) > 0 {
-			evalStride(p.evs[0], out, ds, 0, 1)
+			evalStrideFrom(p.evs[0], out, base, ds, 0, 1)
 		}
 		return
 	}
@@ -138,7 +173,7 @@ func (p *Pool) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
 	for k := 0; k < w; k++ {
 		go func(k int) {
 			defer wg.Done()
-			evalStride(p.evs[k], out, ds, k, w)
+			evalStrideFrom(p.evs[k], out, base, ds, k, w)
 		}(k)
 	}
 	wg.Wait()
@@ -148,6 +183,16 @@ func evalStride(ev Evaluator, out []float64, ds []dist.Distribution, start, stri
 	for i := start; i < len(ds); i += stride {
 		out[i] = ev.Evaluate(ds[i])
 	}
+}
+
+func evalStrideFrom(ev Evaluator, out []float64, base dist.Distribution, ds []dist.Distribution, start, stride int) {
+	if be, ok := ev.(BaseEvaluator); ok && base != nil {
+		for i := start; i < len(ds); i += stride {
+			out[i] = be.EvaluateFrom(base, ds[i])
+		}
+		return
+	}
+	evalStride(ev, out, ds, start, stride)
 }
 
 // strideLen counts the elements worker start handles in a batch of n with
@@ -173,15 +218,18 @@ func strideLen(n, start, stride int) int {
 // panicking inner evaluator unwinds without poisoning the table — the
 // pending entries are rolled back and concurrent waiters retry the
 // evaluation themselves. Single Evaluate calls never block behind a
-// running batch unless they need a key that batch is computing; two
-// concurrent batch calls serialize against each other (the orchestrated
-// searchers only ever issue one batch at a time).
+// running batch unless they need a key that batch is computing, and
+// concurrent batch calls run concurrently (each takes its own scratch
+// from a free list): overlapping keys resolve through the pending
+// protocol, so no caller convoys behind an unrelated batch.
 type Memo struct {
 	mu      sync.RWMutex
 	table   map[uint64]float64
 	pending map[uint64]*memoPending
 	single  Evaluator
-	batch   BatchEvaluator // non-nil when single supports batching
+	batch   BatchEvaluator     // non-nil when single supports batching
+	base    BaseEvaluator      // non-nil when single is base-aware
+	baseB   BaseBatchEvaluator // non-nil when single supports base-aware batching
 	misses  atomic.Int64
 
 	// limit, when positive, bounds the table: the epoch after a publish
@@ -194,10 +242,18 @@ type Memo struct {
 	// Observability (nil when unobserved; see Observe).
 	obsHits, obsMisses, obsEvict *obs.Counter
 
-	// batchMu serializes EvaluateBatchInto calls and guards the scratch
-	// below, which is reused so fully-memoised batches allocate nothing.
-	// Single Evaluate calls never take it.
-	batchMu  sync.Mutex
+	// scratchMu guards the free list of per-call batch scratch. Each
+	// EvaluateBatchInto call checks one out (allocating only when the
+	// list is empty) so fully-memoised batches allocate nothing and
+	// concurrent batches never share, and never convoy on, scratch. A
+	// plain free list, not a sync.Pool: the GC empties a sync.Pool at
+	// arbitrary times, which would break the zero-allocation warm path.
+	scratchMu   sync.Mutex
+	scratchFree []*memoScratch
+}
+
+// memoScratch is one batch call's working set.
+type memoScratch struct {
 	freshD   []dist.Distribution
 	freshH   []uint64
 	freshT   []float64
@@ -207,28 +263,94 @@ type Memo struct {
 	waitP    []*memoPending // the entries those indexes wait on
 }
 
-// memoPending marks a key whose evaluation is in flight. The owner sets
-// val and ok before closing done; ok stays false when the owner's
-// evaluation panicked, telling waiters to retry for ownership instead of
-// consuming a poisoned zero.
+// memoPending marks a key whose evaluation is in flight. The done channel
+// is created lazily — by the first waiter, under Memo.mu — so the common
+// uncontended case (nobody waits) never allocates a channel; the owner
+// closes it, if present, when it resolves the entry. The owner sets val
+// and ok before the close; ok stays false when the owner's evaluation
+// panicked, telling waiters to retry for ownership instead of consuming a
+// poisoned zero.
 type memoPending struct {
-	done chan struct{}
+	done chan struct{} // lazily created under Memo.mu; nil if never awaited
 	val  float64
 	ok   bool
+}
+
+// wait returns the entry's done channel, creating it if this is the first
+// waiter. Caller must hold Memo.mu.
+func (p *memoPending) waitChanLocked() chan struct{} {
+	if p.done == nil {
+		p.done = make(chan struct{})
+	}
+	return p.done
+}
+
+// resolveLocked closes the done channel if any waiter created one. Caller
+// must hold Memo.mu, and must have set val/ok first.
+func (p *memoPending) resolveLocked() {
+	if p.done != nil {
+		close(p.done)
+	}
 }
 
 // NewMemo wraps ev (batch-aware when it implements BatchEvaluator) with a
 // fresh memo table.
 func NewMemo(ev Evaluator) *Memo {
 	m := &Memo{
-		table:   make(map[uint64]float64),
-		pending: make(map[uint64]*memoPending),
+		// Presized for a typical search's working set so the hot loop
+		// never pays for map growth.
+		table:   make(map[uint64]float64, 128),
+		pending: make(map[uint64]*memoPending, 16),
 		single:  ev,
 	}
 	if be, ok := ev.(BatchEvaluator); ok {
 		m.batch = be
 	}
+	if be, ok := ev.(BaseEvaluator); ok {
+		m.base = be
+	}
+	if bb, ok := ev.(BaseBatchEvaluator); ok {
+		m.baseB = bb
+	}
 	return m
+}
+
+// getScratch checks a scratch set out of the free list.
+func (m *Memo) getScratch() *memoScratch {
+	m.scratchMu.Lock()
+	if n := len(m.scratchFree); n > 0 {
+		s := m.scratchFree[n-1]
+		m.scratchFree = m.scratchFree[:n-1]
+		m.scratchMu.Unlock()
+		return s
+	}
+	m.scratchMu.Unlock()
+	return &memoScratch{}
+}
+
+// putScratch clears the scratch's retained references (distributions and
+// pending entries must not outlive the batch) and returns it to the free
+// list.
+func (m *Memo) putScratch(s *memoScratch) {
+	for i := range s.freshD {
+		s.freshD[i] = nil
+	}
+	for i := range s.ownP {
+		s.ownP[i] = nil
+	}
+	for i := range s.waitP {
+		s.waitP[i] = nil
+	}
+	s.freshD = s.freshD[:0]
+	s.freshH = s.freshH[:0]
+	s.freshT = s.freshT[:0]
+	s.freshOut = s.freshOut[:0]
+	s.ownP = s.ownP[:0]
+	s.waitIdx = s.waitIdx[:0]
+	s.waitP = s.waitP[:0]
+	m.scratchMu.Lock()
+	m.scratchFree = append(m.scratchFree, s)
+	m.scratchMu.Unlock()
 }
 
 // Observe registers the memo's hit/miss/eviction counters on r. A nil
@@ -283,15 +405,16 @@ func (m *Memo) Evaluate(d dist.Distribution) float64 {
 		if p, ok := m.pending[h]; ok {
 			// Someone else is evaluating this key right now; wait for the
 			// publish instead of duplicating the work.
+			done := p.waitChanLocked()
 			m.mu.Unlock()
-			<-p.done
+			<-done
 			if p.ok {
 				m.obsHits.Inc()
 				return p.val
 			}
 			continue // the owner panicked; retry for ownership
 		}
-		p := &memoPending{done: make(chan struct{})}
+		p := &memoPending{}
 		m.pending[h] = p
 		m.mu.Unlock()
 
@@ -304,8 +427,8 @@ func (m *Memo) Evaluate(d dist.Distribution) float64 {
 					m.table[h] = p.val
 					m.maybeEvictLocked()
 				}
+				p.resolveLocked()
 				m.mu.Unlock()
-				close(p.done)
 			}()
 			p.val = m.single.Evaluate(d)
 			p.ok = true
@@ -330,20 +453,45 @@ func (m *Memo) EvaluateBatch(ds []dist.Distribution) []float64 {
 // memo lock held, so concurrent Evaluate callers on a shared memo are
 // delayed only if they ask for a key this batch is computing.
 func (m *Memo) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
+	m.EvaluateBatchFromInto(out, nil, ds)
+}
+
+// EvaluateFrom implements BaseEvaluator, forwarding the base to the inner
+// evaluator on a miss when it is base-aware. Memoisation semantics are
+// identical to Evaluate (the base never changes a value, only how fast a
+// miss is computed).
+func (m *Memo) EvaluateFrom(base, d dist.Distribution) float64 {
+	if m.base == nil || base == nil {
+		return m.Evaluate(d)
+	}
+	h := d.Hash()
+	m.mu.RLock()
+	t, ok := m.table[h]
+	m.mu.RUnlock()
+	if ok {
+		m.obsHits.Inc()
+		return t
+	}
+	// Rare path (miss): reuse the batch machinery for the pending
+	// protocol rather than duplicating it.
+	var outBuf [1]float64
+	dsBuf := [1]dist.Distribution{d}
+	m.EvaluateBatchFromInto(outBuf[:], base, dsBuf[:])
+	return outBuf[0]
+}
+
+// EvaluateBatchFromInto implements BaseBatchEvaluator: EvaluateBatchInto
+// semantics, with the batch's common ancestor forwarded to the inner
+// evaluator (when base-aware) for the fresh candidates.
+func (m *Memo) EvaluateBatchFromInto(out []float64, base dist.Distribution, ds []dist.Distribution) {
 	if len(out) != len(ds) {
 		panic("search: batch output length mismatch")
 	}
 	if len(ds) == 0 {
 		return
 	}
-	m.batchMu.Lock()
-	defer m.batchMu.Unlock()
-	m.freshD = m.freshD[:0]
-	m.freshH = m.freshH[:0]
-	m.freshOut = m.freshOut[:0]
-	m.ownP = m.ownP[:0]
-	m.waitIdx = m.waitIdx[:0]
-	m.waitP = m.waitP[:0]
+	s := m.getScratch()
+	defer m.putScratch(s)
 
 	// Classify under one lock: table hits resolve immediately, keys being
 	// evaluated elsewhere (or duplicated within this batch) are waited on
@@ -358,27 +506,28 @@ func (m *Memo) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
 			continue
 		}
 		if p, ok := m.pending[h]; ok {
-			m.waitIdx = append(m.waitIdx, i)
-			m.waitP = append(m.waitP, p)
+			p.waitChanLocked()
+			s.waitIdx = append(s.waitIdx, i)
+			s.waitP = append(s.waitP, p)
 			continue
 		}
-		p := &memoPending{done: make(chan struct{})}
+		p := &memoPending{}
 		m.pending[h] = p
-		m.ownP = append(m.ownP, p)
-		m.freshD = append(m.freshD, d)
-		m.freshH = append(m.freshH, h)
-		m.freshOut = append(m.freshOut, i)
+		s.ownP = append(s.ownP, p)
+		s.freshD = append(s.freshD, d)
+		s.freshH = append(s.freshH, h)
+		s.freshOut = append(s.freshOut, i)
 	}
 	m.mu.Unlock()
 	if hits > 0 {
 		m.obsHits.Add(int64(hits))
 	}
 
-	if len(m.freshD) > 0 {
-		if cap(m.freshT) < len(m.freshD) {
-			m.freshT = make([]float64, len(m.freshD))
+	if len(s.freshD) > 0 {
+		if cap(s.freshT) < len(s.freshD) {
+			s.freshT = make([]float64, len(s.freshD))
 		}
-		m.freshT = m.freshT[:len(m.freshD)]
+		s.freshT = s.freshT[:len(s.freshD)]
 		published := false
 		func() {
 			defer func() {
@@ -389,50 +538,53 @@ func (m *Memo) EvaluateBatchInto(out []float64, ds []dist.Distribution) {
 				// table keeps no trace of this batch, and wake waiters with
 				// ok=false so they re-evaluate rather than read zeros.
 				m.mu.Lock()
-				for _, h := range m.freshH {
+				for _, h := range s.freshH {
 					delete(m.pending, h)
 				}
-				m.mu.Unlock()
-				for _, p := range m.ownP {
-					close(p.done)
+				for _, p := range s.ownP {
+					p.resolveLocked()
 				}
+				m.mu.Unlock()
 			}()
-			if m.batch != nil {
-				m.batch.EvaluateBatchInto(m.freshT, m.freshD)
-			} else {
-				evalStride(m.single, m.freshT, m.freshD, 0, 1)
+			switch {
+			case m.baseB != nil && base != nil:
+				m.baseB.EvaluateBatchFromInto(s.freshT, base, s.freshD)
+			case m.batch != nil:
+				m.batch.EvaluateBatchInto(s.freshT, s.freshD)
+			default:
+				evalStrideFrom(m.single, s.freshT, base, s.freshD, 0, 1)
 			}
 			// Publish after evaluating: values enter the table complete or
 			// not at all.
 			m.mu.Lock()
-			for i, h := range m.freshH {
-				m.table[h] = m.freshT[i]
+			for i, h := range s.freshH {
+				m.table[h] = s.freshT[i]
 				delete(m.pending, h)
 			}
-			m.mu.Unlock()
-			for i, p := range m.ownP {
-				p.val, p.ok = m.freshT[i], true
-				close(p.done)
+			for i, p := range s.ownP {
+				p.val, p.ok = s.freshT[i], true
+				p.resolveLocked()
 			}
+			m.mu.Unlock()
 			published = true
 		}()
-		m.misses.Add(int64(len(m.freshD)))
-		m.obsMisses.Add(int64(len(m.freshD)))
-		for i, o := range m.freshOut {
-			out[o] = m.freshT[i]
+		m.misses.Add(int64(len(s.freshD)))
+		m.obsMisses.Add(int64(len(s.freshD)))
+		for i, o := range s.freshOut {
+			out[o] = s.freshT[i]
 		}
 	}
 
 	// Resolve the waited keys last: in-batch duplicates (owned by us,
 	// already published above) and keys concurrent callers were computing.
 	// A failed owner means we evaluate the key ourselves.
-	for j, p := range m.waitP {
+	for j, p := range s.waitP {
 		<-p.done
 		if p.ok {
-			out[m.waitIdx[j]] = p.val
+			out[s.waitIdx[j]] = p.val
 			m.obsHits.Inc()
 		} else {
-			out[m.waitIdx[j]] = m.Evaluate(ds[m.waitIdx[j]])
+			out[s.waitIdx[j]] = m.Evaluate(ds[s.waitIdx[j]])
 		}
 	}
 
@@ -463,7 +615,9 @@ func (m *Memo) Len() int {
 // instead.
 type counter struct {
 	single Evaluator
-	batch  BatchEvaluator // non-nil when single supports batching
+	batch  BatchEvaluator     // non-nil when single supports batching
+	baseE  BaseEvaluator      // non-nil when single is base-aware
+	baseB  BaseBatchEvaluator // non-nil when single supports base-aware batching
 	n      atomic.Int64
 }
 
@@ -471,6 +625,12 @@ func newCounter(ev Evaluator) *counter {
 	c := &counter{single: ev}
 	if be, ok := ev.(BatchEvaluator); ok {
 		c.batch = be
+	}
+	if be, ok := ev.(BaseEvaluator); ok {
+		c.baseE = be
+	}
+	if bb, ok := ev.(BaseBatchEvaluator); ok {
+		c.baseB = bb
 	}
 	return c
 }
@@ -480,13 +640,34 @@ func (c *counter) eval(d dist.Distribution) float64 {
 	return c.single.Evaluate(d)
 }
 
+// evalFrom is eval naming the candidate's ancestor (same contract as
+// evalBatchFrom, without the one-element batch detour — this is the
+// annealing chain's per-step path).
+func (c *counter) evalFrom(base, d dist.Distribution) float64 {
+	c.n.Add(1)
+	if c.baseE != nil && base != nil {
+		return c.baseE.EvaluateFrom(base, d)
+	}
+	return c.single.Evaluate(d)
+}
+
 func (c *counter) evalBatch(out []float64, ds []dist.Distribution) {
+	c.evalBatchFrom(out, nil, ds)
+}
+
+// evalBatchFrom is evalBatch naming the batch's common ancestor, which
+// base-aware evaluators use to warm their caches (scores are unchanged).
+func (c *counter) evalBatchFrom(out []float64, base dist.Distribution, ds []dist.Distribution) {
 	c.n.Add(int64(len(ds)))
+	if c.baseB != nil && base != nil {
+		c.baseB.EvaluateBatchFromInto(out, base, ds)
+		return
+	}
 	if c.batch != nil {
 		c.batch.EvaluateBatchInto(out, ds)
 		return
 	}
-	evalStride(c.single, out, ds, 0, 1)
+	evalStrideFrom(c.single, out, base, ds, 0, 1)
 }
 
 func (c *counter) count() int { return int(c.n.Load()) }

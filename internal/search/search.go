@@ -27,6 +27,30 @@ type Evaluator interface {
 	Evaluate(d dist.Distribution) float64
 }
 
+// BaseEvaluator is an Evaluator that can exploit a candidate's ancestry:
+// EvaluateFrom names the base distribution the candidate was derived from
+// (a mutation's parent, a GBS leg's best anchor). The base is a warm-up
+// hint only — implementations must return exactly what Evaluate(d) would,
+// bit for bit; a base-aware evaluator merely reaches that value faster by
+// reusing work shared with the base (see core.DeltaEvaluator).
+type BaseEvaluator interface {
+	Evaluator
+	// EvaluateFrom scores d, which differs from base in few ranks. A nil
+	// base means "no ancestry" and behaves like Evaluate.
+	EvaluateFrom(base, d dist.Distribution) float64
+}
+
+// BaseBatchEvaluator is a BatchEvaluator whose batches carry their common
+// ancestor. Same contract as BaseEvaluator: out[i] must equal what a
+// plain EvaluateBatchInto would produce.
+type BaseBatchEvaluator interface {
+	BatchEvaluator
+	// EvaluateBatchFromInto scores ds[i] into out[i]; every ds[i] derives
+	// from base (nil = no ancestry). Implementations must not retain base
+	// or ds past the call.
+	EvaluateBatchFromInto(out []float64, base dist.Distribution, ds []dist.Distribution)
+}
+
 // EvaluatorFunc adapts a function to the Evaluator interface.
 type EvaluatorFunc func(d dist.Distribution) float64
 

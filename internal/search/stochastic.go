@@ -54,7 +54,7 @@ func (r *Random) Search(ev Evaluator, total int) Result {
 		for i := 0; i < k; i++ {
 			ds = append(ds, randomDist(nz, n, total, 0.1))
 		}
-		cev.evalBatch(ts[:k], ds)
+		cev.evalBatchFrom(ts[:k], best, ds)
 		for i := 0; i < k; i++ {
 			if ts[i] < bestT {
 				bestT, best = ts[i], ds[i]
@@ -119,7 +119,7 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 	for i := range cur {
 		ds[i] = cur[i].d
 	}
-	cev.evalBatch(ts[:pop], ds[:pop])
+	cev.evalBatchFrom(ts[:pop], cur[0].d, ds[:pop])
 	for i := range cur {
 		cur[i].t = ts[i]
 	}
@@ -157,7 +157,7 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 			}
 			ds[i] = child
 		}
-		cev.evalBatch(ts[:nOff], ds[:nOff])
+		cev.evalBatchFrom(ts[:nOff], cur[0].d, ds[:nOff])
 		next := make([]scored, 0, pop)
 		next = append(next, cur[0], cur[1])
 		for i := 0; i < nOff; i++ {
@@ -168,6 +168,25 @@ func (g *Genetic) Search(ev Evaluator, total int) Result {
 		sBest.Append(gen+1, cur[0].t)
 	}
 	return Result{Best: cur[0].d.Clone(), Time: cur[0].t, Evaluations: cev.count(), Algorithm: g.Name()}
+}
+
+// acceptWorse decides the Metropolis test u < exp(x) for x ≤ 0 without
+// always paying for the exponential: exp(x) ≥ 1+x and, for x ≤ 0,
+// exp(x) ≤ 1/(1−x), so draws clearly below the lower bound accept and
+// draws at or above the upper bound reject. Both bounds carry a 1e-15
+// slack — far above the ≤2-ulp rounding of 1+x and 1/(1−x) on [−1, 0],
+// the only range where the bounds can sit near u — so a shortcut fires
+// only when the exact test would agree; everything in the gap (width
+// ≈ x², so rare at both temperature extremes) falls through to math.Exp.
+// The decision is bit-for-bit the one `u < math.Exp(x)` makes.
+func acceptWorse(u, x float64) bool {
+	if u < 1+x-1e-15 {
+		return true
+	}
+	if u >= 1/(1-x)+1e-15 {
+		return false
+	}
+	return u < math.Exp(x)
 }
 
 // mutate moves a random fraction of one node's block to another node.
@@ -254,7 +273,11 @@ func (a *Annealing) Search(ev Evaluator, total int) Result {
 			copy(ds[i], cur)
 			mutate(nz, ds[i], total)
 		}
-		cev.evalBatch(ts[:fan], ds[:fan])
+		if fan == 1 {
+			ts[0] = cev.evalFrom(cur, ds[0])
+		} else {
+			cev.evalBatchFrom(ts[:fan], cur, ds[:fan])
+		}
 		ci := 0
 		for i := 1; i < fan; i++ {
 			if ts[i] < ts[ci] {
@@ -262,7 +285,7 @@ func (a *Annealing) Search(ev Evaluator, total int) Result {
 			}
 		}
 		candT := ts[ci]
-		if candT < curT || nz.Float64() < math.Exp((curT-candT)/temp) {
+		if candT < curT || acceptWorse(nz.Float64(), (curT-candT)/temp) {
 			copy(cur, ds[ci])
 			curT = candT
 			if curT < bestT {

@@ -1,0 +1,98 @@
+package validate
+
+import (
+	"fmt"
+	"testing"
+
+	"mheta/internal/core"
+	"mheta/internal/dist"
+	"mheta/internal/instrument"
+)
+
+// TestDeltaBitIdenticalOverCorpus sweeps the committed 64-seed corpus and
+// asserts the incremental evaluator reproduces the full model bitwise on
+// every generated distribution case — spectrum and adversarial, across
+// all applications (including the pipelined-tile rna app and prefetching
+// jacobi-pf), architectures, shared-disk specs, and the fall-back paths.
+// No emulation runs: this is a model-vs-model differential, so the whole
+// corpus stays cheap.
+func TestDeltaBitIdenticalOverCorpus(t *testing.T) {
+	for _, seed := range CorpusSeeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := GenScenario(seed)
+			total := sc.App.Prog.GlobalElems()
+			base := dist.Block(total, sc.Spec.N())
+			params, err := instrument.Collect(sc.Spec, sc.App, base, sc.Seed, Noise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, err := core.NewModel(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.NewModel(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			de := model.Delta()
+			check := func(name string, d dist.Distribution) {
+				t.Helper()
+				want := ref.Predict(d).Total
+				got, _ := de.Evaluate(d)
+				if got != want {
+					t.Fatalf("%s: delta %v != full %v (dist %v)", name, got, want, d)
+				}
+				if again, _ := de.Evaluate(d); again != want {
+					t.Fatalf("%s: warm replay %v != full %v", name, again, want)
+				}
+			}
+			for _, c := range sc.Cases {
+				check(c.Name, c.Dist)
+				// Neighbour moves reuse most cached widths — the delta
+				// evaluator's actual search workload.
+				if len(c.Dist) >= 2 && c.Dist[0] > 0 {
+					nb := c.Dist.Clone()
+					nb[0]--
+					nb[len(nb)-1]++
+					check(c.Name+"/neighbour", nb)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaBitIdenticalWeightedIterations pins the IterWeights fall-back
+// on realistic instrumented parameter sets: weighted iterations must take
+// the full path and still agree bitwise.
+func TestDeltaBitIdenticalWeightedIterations(t *testing.T) {
+	sc := GenScenario(7)
+	total := sc.App.Prog.GlobalElems()
+	base := dist.Block(total, sc.Spec.N())
+	params, err := instrument.Collect(sc.Spec, sc.App, base, sc.Seed, Noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, params.Iterations)
+	for i := range weights {
+		weights[i] = 1 + 0.25*float64(i%3)
+	}
+	params.IterWeights = weights
+	model := core.MustModel(params)
+	ref := core.MustModel(params)
+	de := model.Delta()
+	for _, c := range sc.Cases {
+		want := ref.Predict(c.Dist).Total
+		got, usedDelta := de.Evaluate(c.Dist)
+		if usedDelta {
+			t.Fatalf("%s: weighted iterations must not use the cache", c.Name)
+		}
+		if got != want {
+			t.Fatalf("%s: fallback %v != full %v", c.Name, got, want)
+		}
+	}
+	if st := de.Stats(); st.FullEvals != int64(len(sc.Cases)) {
+		t.Fatalf("stats = %+v, want %d full evals", st, len(sc.Cases))
+	}
+}

@@ -137,7 +137,7 @@ func SearchGBS(spec ClusterSpec, app *App, model *Model) SearchResult {
 		bpe += v.ElemBytes
 	}
 	g := &search.GBS{Spec: spec, BytesPerElem: bpe}
-	return g.Search(search.ModelEvaluator{Model: model}, app.Prog.GlobalElems())
+	return g.Search(search.NewDeltaModelEvaluator(model), app.Prog.GlobalElems())
 }
 
 // Searcher names for SearchWith.
@@ -190,7 +190,13 @@ type SearchOptions struct {
 // "annealing", "random") with the given evaluation-pool size and
 // optional metrics registry.
 func SearchWithOptions(alg string, spec ClusterSpec, app *App, model *Model, seed uint64, opts SearchOptions) (SearchResult, error) {
-	var ev search.Evaluator = search.ModelEvaluator{Model: model}
+	// The delta evaluator replays cached per-width busy terms, scoring
+	// bit-identically to ModelEvaluator but several times faster on the
+	// near-neighbour candidates searches emit. Observe before NewPool so
+	// worker clones share the delta-path counters.
+	dme := search.NewDeltaModelEvaluator(model)
+	dme.Observe(opts.Metrics)
+	var ev search.Evaluator = dme
 	if opts.Workers != 1 && opts.Workers != 0 {
 		pool := search.NewPool(ev, opts.Workers)
 		pool.Observe(opts.Metrics)
