@@ -26,6 +26,7 @@ import (
 	"mheta/internal/experiments"
 	"mheta/internal/instrument"
 	"mheta/internal/mpi"
+	"mheta/internal/sched"
 	"mheta/internal/search"
 	"mheta/internal/stats"
 )
@@ -590,6 +591,39 @@ func BenchmarkEmulatedRun(b *testing.B) {
 		if _, err := exec.Run(w, app, base, exec.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEmulate measures event-engine scaling: one nearest-neighbour
+// Jacobi run (2 rows per rank, 2 iterations) at each rank count,
+// reporting scheduler throughput (events/s = heap dispatches + message
+// deliveries per second) and allocations. The 10k point is the ISSUE 7
+// headline: goroutine-per-rank couldn't reach it in seconds; the event
+// heap must.
+func BenchmarkEmulate(b *testing.B) {
+	for _, ranks := range []int{8, 256, 4096, 10000} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			cfg := apps.DefaultJacobiConfig()
+			cfg.Rows, cfg.Cols, cfg.Iterations = 2*ranks, 4, 2
+			app := apps.NewJacobi(cfg)
+			spec := cluster.DC(ranks)
+			for i := range spec.Nodes {
+				spec.Nodes[i] = cluster.NodeSpec{CPUPower: 1, MemoryBytes: 1 << 20, DiskScale: 1}
+			}
+			d := dist.Block(cfg.Rows, ranks)
+			var events uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var st sched.Stats
+				w := mpi.NewWorld(spec, 777, 0.02)
+				if _, err := exec.Run(w, app, d, exec.Options{Engine: exec.EngineEvent, EventStats: &st}); err != nil {
+					b.Fatal(err)
+				}
+				events += st.Events + st.Sends
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

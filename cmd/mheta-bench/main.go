@@ -41,12 +41,13 @@ import (
 // not speed; they stay out of the perf gate.
 const defaultBench = "^Benchmark(ModelEvaluate|ModelEvaluatePipelined|" +
 	"MemoisedEvaluate|MemoisedEvaluateObserved|MemoConcurrentBatches|" +
-	"DeltaEvaluate|DeltaEvaluatePipelined|" +
+	"DeltaEvaluate|DeltaEvaluatePipelined|Emulate|" +
 	"SearchGBS|SearchGenetic|SearchAnnealing|SearchRandom|SearchParallel)$"
 
-// defaultGate guards the memo and search benchmarks — the ones whose
-// performance this repo actively optimises and must not quietly lose.
-const defaultGate = "^Benchmark(Memoised|MemoConcurrentBatches|Search)"
+// defaultGate guards the memo, search and emulator-scaling benchmarks —
+// the ones whose performance this repo actively optimises and must not
+// quietly lose.
+const defaultGate = "^Benchmark(Memoised|MemoConcurrentBatches|Search|Emulate)"
 
 func main() {
 	log.SetFlags(0)

@@ -51,6 +51,7 @@ var DeterministicPkgs = []string{
 	"mheta/internal/instrument",
 	"mheta/internal/experiments",
 	"mheta/internal/paramfile",
+	"mheta/internal/sched",
 }
 
 // isDeterministicPath matches path against DeterministicPkgs, including

@@ -97,6 +97,9 @@ var ExternalFields = map[string]Unit{
 	"mheta/internal/mpijack.CommRecord.RecvBytes":    Bytes,
 	"mheta/internal/mpijack.CommRecord.Reductions":   Blocks,
 	"mheta/internal/mpijack.CommRecord.ReduceBytes":  Bytes,
+
+	// sched: the event heap is keyed by virtual time.
+	"mheta/internal/sched.Msg.Arrival": Seconds,
 }
 
 // FuncUnits is the annotated signature of one function: parameter and
@@ -141,4 +144,8 @@ var ExternalFuncs = map[string]FuncUnits{
 
 	// exec: the shared-disk slowdown is a dimensionless factor.
 	"mheta/internal/exec.SharedDiskContention": {Results: []Unit{Ratio}},
+
+	// sched: Ready/Park carry a rank's virtual clock into the heap.
+	"(*mheta/internal/sched.Scheduler).Ready": {Params: []Unit{Unknown, Seconds}},
+	"(*mheta/internal/sched.Scheduler).Park":  {Params: []Unit{Unknown, Unknown, Unknown, Seconds}},
 }

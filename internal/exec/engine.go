@@ -1,0 +1,73 @@
+package exec
+
+import "fmt"
+
+// Engine selects the emulation driver. Both engines interpret the same
+// program structure over the same mpi runtime and produce bit-identical
+// results (clocks, traces, recorders — proven by the differential suite
+// in internal/validate); they differ only in how ranks are scheduled on
+// the host.
+type Engine int
+
+const (
+	// EngineAuto resolves to the package default (normally EngineEvent;
+	// see SetDefaultEngine).
+	EngineAuto Engine = iota
+	// EngineEvent drives all ranks from a single discrete-event
+	// scheduler (internal/sched): a rank costs a heap operation, not a
+	// goroutine, which is what scales to 10k+ ranks (DESIGN.md §5.13).
+	EngineEvent
+	// EngineGoroutine is the original core: one goroutine per rank,
+	// blocking mailboxes. Kept as the differential-testing reference and
+	// for harnesses that drive World.Run directly.
+	EngineGoroutine
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineEvent:
+		return "event"
+	case EngineGoroutine:
+		return "goroutine"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps a CLI flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "event":
+		return EngineEvent, nil
+	case "goroutine":
+		return EngineGoroutine, nil
+	}
+	return EngineAuto, fmt.Errorf("unknown engine %q (want event or goroutine)", s)
+}
+
+// defaultEngine is what EngineAuto resolves to. The event engine is the
+// default: it is the scalable core and bit-identical to the goroutine
+// core on every workload the differential suite covers.
+var defaultEngine = EngineEvent
+
+// SetDefaultEngine changes what EngineAuto resolves to (the -engine
+// flag of cmd/mheta-emulate). Passing EngineAuto restores the built-in
+// default.
+func SetDefaultEngine(e Engine) {
+	if e == EngineAuto {
+		e = EngineEvent
+	}
+	defaultEngine = e
+}
+
+// DefaultEngine reports what EngineAuto currently resolves to.
+func DefaultEngine() Engine { return defaultEngine }
+
+func resolveEngine(e Engine) Engine {
+	if e == EngineAuto {
+		return defaultEngine
+	}
+	return e
+}

@@ -26,6 +26,7 @@ import (
 	"mheta/internal/mpi"
 	"mheta/internal/mpijack"
 	"mheta/internal/program"
+	"mheta/internal/sched"
 	"mheta/internal/trace"
 )
 
@@ -140,18 +141,62 @@ type Options struct {
 	// blocked time). Plain runs only — ModeInstrument owns the profiler
 	// slot for MPI-Jack.
 	Trace *trace.Trace
+	// Engine selects the emulation core; EngineAuto uses the package
+	// default (the event engine).
+	Engine Engine
+	// EventStats, when non-nil, receives the scheduler counters after an
+	// event-engine run (dispatches, messages, parks — the events/sec
+	// numerator of the scale benchmarks). Ignored by the goroutine
+	// engine.
+	EventStats *sched.Stats
+}
+
+// runEnv is one run's precomputed, engine-independent setup, shared by
+// both drivers so their per-rank behaviour cannot diverge.
+type runEnv struct {
+	w          *mpi.World
+	app        *App
+	d          dist.Distribution
+	opts       Options
+	iters      int
+	actives    []int
+	actIdx     []int // actIdx[p]: position of rank p in actives, -1 if inactive
+	startOf    []int // startOf[p]: first global row of rank p (prefix sums of d)
+	contention float64
+	recs       []*mpijack.Recorder
+	starts     []float64
+	ends       []float64
 }
 
 // Run executes app under distribution d on world w.
 func Run(w *mpi.World, app *App, d dist.Distribution, opts Options) (Result, error) {
-	if err := app.Prog.Validate(); err != nil {
+	env, err := prepare(w, app, d, opts)
+	if err != nil {
 		return Result{}, err
+	}
+	switch resolveEngine(opts.Engine) {
+	case EngineGoroutine:
+		env.runGoroutine()
+	default:
+		if err := env.runEvent(); err != nil {
+			return Result{}, err
+		}
+	}
+	return env.result(), nil
+}
+
+// prepare validates inputs and computes everything both engines share:
+// iteration count, active ranks (with an O(1) per-rank index, not the
+// old O(n) scan per rank), row prefix sums, and shared-disk contention.
+func prepare(w *mpi.World, app *App, d dist.Distribution, opts Options) (*runEnv, error) {
+	if err := app.Prog.Validate(); err != nil {
+		return nil, err
 	}
 	if len(d) != w.Size() {
-		return Result{}, fmt.Errorf("exec: distribution for %d nodes on a %d-node world", len(d), w.Size())
+		return nil, fmt.Errorf("exec: distribution for %d nodes on a %d-node world", len(d), w.Size())
 	}
 	if err := d.Validate(app.Prog.GlobalElems()); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	iters := app.Prog.Iterations
 	if opts.Iterations > 0 {
@@ -161,10 +206,28 @@ func Run(w *mpi.World, app *App, d dist.Distribution, opts Options) (Result, err
 		iters = 1
 	}
 
-	var actives []int
+	n := w.Size()
+	env := &runEnv{
+		w:          w,
+		app:        app,
+		d:          d,
+		opts:       opts,
+		iters:      iters,
+		actIdx:     make([]int, n),
+		startOf:    make([]int, n),
+		contention: 1.0,
+		recs:       make([]*mpijack.Recorder, n),
+		starts:     make([]float64, n),
+		ends:       make([]float64, n),
+	}
+	row := 0
 	for p, wk := range d {
+		env.startOf[p] = row
+		row += wk
+		env.actIdx[p] = -1
 		if wk > 0 {
-			actives = append(actives, p)
+			env.actIdx[p] = len(env.actives)
+			env.actives = append(env.actives, p)
 		}
 	}
 
@@ -172,85 +235,94 @@ func Run(w *mpi.World, app *App, d dist.Distribution, opts Options) (Result, err
 	// streaming nodes sees the global disk k× slower. k is computed from
 	// the same residency rules the runtime applies, so it is
 	// deterministic and known to all ranks.
-	contention := 1.0
 	if w.Spec().SharedDisk {
-		contention = SharedDiskContention(w.Spec(), app.Prog, d, opts.Mode == ModeInstrument)
+		env.contention = SharedDiskContention(w.Spec(), app.Prog, d, opts.Mode == ModeInstrument)
+	}
+	return env, nil
+}
+
+// setupRank builds rank r's NodeCtx, wires profilers and disk modes,
+// initialises application state, and performs the compulsory in-core
+// loads — everything that happens before the aligning barrier. All of
+// it is rank-local (Init and loadInCore only touch the rank's own clock
+// and disk), so both engines call it identically.
+func (env *runEnv) setupRank(r *mpi.Rank) *NodeCtx {
+	p := r.Rank()
+	nc := &NodeCtx{
+		R:       r,
+		Prog:    env.app.Prog,
+		Dist:    env.d,
+		Start:   env.startOf[p],
+		Count:   env.d[p],
+		InCore:  make(map[string][]byte),
+		app:     env.app,
+		mode:    env.opts.Mode,
+		actIdx:  env.actIdx[p],
+		actives: env.actives,
+	}
+	if env.opts.Mode == ModeInstrument {
+		nc.jack = mpijack.New()
+		nc.rec = mpijack.NewRecorder(p)
+		nc.rec.Attach(nc.jack)
+		r.SetProfiler(nc.jack)
+		r.Disk().SetMode(disksim.ModeInstrument)
+		env.recs[p] = nc.rec
+	} else {
+		if env.opts.Trace != nil {
+			nc.tr = env.opts.Trace
+			r.SetProfiler(&trace.Collector{T: env.opts.Trace, Rank: p})
+		} else {
+			r.SetProfiler(nil)
+		}
+		r.Disk().SetMode(disksim.ModeNormal)
 	}
 
-	n := w.Size()
-	recs := make([]*mpijack.Recorder, n)
-	starts := make([]float64, n)
-	ends := make([]float64, n)
+	r.Disk().SetContention(env.contention)
+	nc.state = env.app.NewState(nc)
+	nc.state.Init(nc)
+	nc.computeResidency()
+	nc.loadInCore()
+	return nc
+}
 
-	w.ResetClocks()
-	w.Run(func(r *mpi.Rank) {
+// runGoroutine is the original core: one goroutine per rank, blocking
+// mailbox receives, host-scheduled.
+func (env *runEnv) runGoroutine() {
+	env.w.ResetClocks()
+	env.w.Run(func(r *mpi.Rank) {
 		p := r.Rank()
-		nc := &NodeCtx{
-			R:       r,
-			Prog:    app.Prog,
-			Dist:    d,
-			Start:   d.Start(p),
-			Count:   d[p],
-			InCore:  make(map[string][]byte),
-			app:     app,
-			mode:    opts.Mode,
-			actIdx:  -1,
-			actives: actives,
-		}
-		for i, a := range actives {
-			if a == p {
-				nc.actIdx = i
-			}
-		}
-		if opts.Mode == ModeInstrument {
-			nc.jack = mpijack.New()
-			nc.rec = mpijack.NewRecorder(p)
-			nc.rec.Attach(nc.jack)
-			r.SetProfiler(nc.jack)
-			r.Disk().SetMode(disksim.ModeInstrument)
-			recs[p] = nc.rec
-		} else {
-			if opts.Trace != nil {
-				nc.tr = opts.Trace
-				r.SetProfiler(&trace.Collector{T: opts.Trace, Rank: p})
-			} else {
-				r.SetProfiler(nil)
-			}
-			r.Disk().SetMode(disksim.ModeNormal)
-		}
-
-		r.Disk().SetContention(contention)
-		nc.state = app.NewState(nc)
-		nc.state.Init(nc)
-		nc.computeResidency()
-		nc.loadInCore()
+		nc := env.setupRank(r)
 
 		// Align all ranks, then measure the iteration region.
 		r.Barrier(1 << 16)
-		starts[p] = float64(r.Now())
-		for it := 0; it < iters; it++ {
+		env.starts[p] = float64(r.Now())
+		for it := 0; it < env.iters; it++ {
 			nc.Iter = it
 			nc.runIteration()
 		}
-		ends[p] = float64(r.Now())
+		env.ends[p] = float64(r.Now())
 		nc.flushInCore()
 	})
+}
 
-	res := Result{NodeTimes: make([]float64, n), Recorders: recs}
+// result assembles the Result both engines share.
+func (env *runEnv) result() Result {
+	n := env.w.Size()
+	res := Result{NodeTimes: make([]float64, n), Recorders: env.recs}
 	start := 0.0
-	for _, s := range starts {
+	for _, s := range env.starts {
 		if s > start {
 			start = s
 		}
 	}
-	for p := range ends {
-		res.NodeTimes[p] = ends[p] - start
+	for p := range env.ends {
+		res.NodeTimes[p] = env.ends[p] - start
 		if res.NodeTimes[p] > res.Time {
 			res.Time = res.NodeTimes[p]
 		}
 	}
-	res.PerIteration = res.Time / float64(iters)
-	return res, nil
+	res.PerIteration = res.Time / float64(env.iters)
+	return res
 }
 
 // SharedDiskContention returns the number of ranks that stream at least

@@ -28,6 +28,7 @@ import (
 	"mheta/internal/cluster"
 	"mheta/internal/disksim"
 	"mheta/internal/netsim"
+	"mheta/internal/sched"
 	"mheta/internal/vclock"
 )
 
@@ -143,8 +144,15 @@ func (m *mailbox) take(tag int) message {
 type World struct {
 	spec  cluster.Spec
 	net   *netsim.Network
-	boxes [][]*mailbox // boxes[src][dst]
 	ranks []*Rank
+	// Mailboxes are created lazily per communicating (src,dst) pair: the
+	// applications' patterns (chains, binomial trees) touch O(n·log n)
+	// pairs, so eager n² allocation would dominate memory at 10k+ ranks.
+	boxMu sync.Mutex
+	boxes map[uint64]*mailbox
+	// sched, when bound, replaces goroutine mailbox delivery with the
+	// discrete-event scheduler (see BindScheduler).
+	sched *sched.Scheduler
 }
 
 // NewWorld builds a world for the given cluster spec. seed drives all
@@ -162,14 +170,8 @@ func NewWorld(spec cluster.Spec, seed uint64, noiseAmp float64) *World {
 	w := &World{
 		spec:  spec,
 		net:   netsim.New(n, spec.Net, nil),
-		boxes: make([][]*mailbox, n),
+		boxes: make(map[uint64]*mailbox),
 		ranks: make([]*Rank, n),
-	}
-	for s := 0; s < n; s++ {
-		w.boxes[s] = make([]*mailbox, n)
-		for d := 0; d < n; d++ {
-			w.boxes[s][d] = newMailbox()
-		}
 	}
 	for r := 0; r < n; r++ {
 		nodeNoise := root.Fork(uint64(r) + 1)
@@ -201,6 +203,9 @@ func (w *World) Rank(r int) *Rank { return w.ranks[r] }
 // final virtual time. It panics if any rank panics (after all finish or
 // deadlock — application bugs surface as Go deadlock reports).
 func (w *World) Run(fn func(r *Rank)) []vclock.Time {
+	if w.sched != nil {
+		panic("mpi: World.Run while a scheduler is bound")
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, w.Size())
 	for i := range w.ranks {
@@ -235,12 +240,43 @@ func (w *World) ResetClocks() {
 		r.clk.Reset()
 		r.disk.ResetTiming()
 	}
-	for s := range w.boxes {
-		for d := range w.boxes[s] {
-			w.boxes[s][d] = newMailbox()
-		}
-	}
+	w.boxMu.Lock()
+	w.boxes = make(map[uint64]*mailbox)
+	w.boxMu.Unlock()
 }
+
+func boxKey(src, dst int) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
+
+// box returns the (src,dst) mailbox, creating it on first use. Both the
+// sender and the receiver race to create it, hence the lock; contention
+// is negligible because each pair is touched repeatedly after the first
+// message.
+func (w *World) box(src, dst int) *mailbox {
+	key := boxKey(src, dst)
+	w.boxMu.Lock()
+	b := w.boxes[key]
+	if b == nil {
+		b = newMailbox()
+		w.boxes[key] = b
+	}
+	w.boxMu.Unlock()
+	return b
+}
+
+// BindScheduler routes message delivery through the discrete-event
+// scheduler s instead of the goroutine mailboxes. While bound, all
+// ranks must be driven from s's single dispatch loop (the exec event
+// engine): blocking Recv panics — parking receivers use TryRecv — and
+// World.Run must not be called.
+func (w *World) BindScheduler(s *sched.Scheduler) {
+	if s != nil && s.Size() != w.Size() {
+		panic(fmt.Sprintf("mpi: scheduler for %d ranks bound to a %d-rank world", s.Size(), w.Size()))
+	}
+	w.sched = s
+}
+
+// UnbindScheduler restores goroutine (blocking) delivery.
+func (w *World) UnbindScheduler() { w.sched = nil }
 
 // Rank is one process of the emulated application. All methods must be
 // called from the rank's own goroutine (inside World.Run) except the
@@ -359,7 +395,12 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 	r.pre(ci)
 	r.clk.Advance(r.netNz.Perturb(r.world.net.SendCost(r.rank, dst, len(data))))
 	arrival := r.clk.Now() + vclock.Time(r.netNz.Perturb(r.world.net.TransferTime(r.rank, dst, len(data))))
-	r.world.boxes[r.rank][dst].put(message{tag: tag, data: append([]byte(nil), data...), arrival: arrival})
+	payload := append([]byte(nil), data...)
+	if s := r.world.sched; s != nil {
+		s.Send(r.rank, dst, sched.Msg{Tag: tag, Data: payload, Arrival: arrival})
+	} else {
+		r.world.box(r.rank, dst).put(message{tag: tag, data: payload, arrival: arrival})
+	}
 	r.post(ci)
 }
 
@@ -369,9 +410,12 @@ func (r *Rank) Recv(src, tag int) []byte {
 	if src == r.rank {
 		panic("mpi: Recv from self")
 	}
+	if r.world.sched != nil {
+		panic("mpi: blocking Recv under the event engine; drivers must use TryRecv")
+	}
 	ci := &CallInfo{Kind: CallRecv, Peer: src, Tag: tag}
 	r.pre(ci)
-	msg := r.world.boxes[src][r.rank].take(tag)
+	msg := r.world.box(src, r.rank).take(tag)
 	ci.Bytes = len(msg.data)
 	ci.Wait = r.clk.WaitUntil(msg.arrival)
 	r.clk.Advance(r.netNz.Perturb(r.world.net.RecvCost(src, r.rank, len(msg.data))))

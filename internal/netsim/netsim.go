@@ -81,13 +81,16 @@ func (p Params) TransferTime(bytes int) vclock.Duration {
 	return p.Latency + vclock.Duration(bytes)*p.PerByteWire
 }
 
-// Network is the interconnect of an emulated cluster: a full crossbar with
-// per-link parameters (uniform by default) and optional noise streams.
+// Network is the interconnect of an emulated cluster: a full crossbar
+// with uniform parameters plus sparse per-link overrides. Storing only
+// the overrides (instead of an n×n Params table) keeps a 10k-rank
+// network at constant memory; the common case has no overrides at all.
 // The zero value is not usable; construct with New.
 type Network struct {
-	n      int
-	params [][]Params // params[src][dst]
-	noise  *vclock.Noise
+	n         int
+	uniform   Params
+	overrides map[uint64]Params // sparse, keyed src<<32|dst
+	noise     *vclock.Noise
 }
 
 // New builds a network of n ranks with uniform parameters p. A nil noise
@@ -96,27 +99,38 @@ func New(n int, p Params, noise *vclock.Noise) *Network {
 	if n <= 0 {
 		panic(fmt.Sprintf("netsim: invalid rank count %d", n))
 	}
-	rows := make([][]Params, n)
-	for i := range rows {
-		rows[i] = make([]Params, n)
-		for j := range rows[i] {
-			rows[i][j] = p
-		}
-	}
-	return &Network{n: n, params: rows, noise: noise}
+	return &Network{n: n, uniform: p, noise: noise}
 }
 
 // Size returns the number of ranks the network connects.
 func (nw *Network) Size() int { return nw.n }
 
+func linkKey(src, dst int) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
+
 // SetLink overrides the parameters for the directed link src→dst.
 func (nw *Network) SetLink(src, dst int, p Params) {
-	nw.params[src][dst] = p
+	nw.checkLink(src, dst)
+	if nw.overrides == nil {
+		nw.overrides = make(map[uint64]Params)
+	}
+	nw.overrides[linkKey(src, dst)] = p
 }
 
 // Link returns the parameters for the directed link src→dst.
 func (nw *Network) Link(src, dst int) Params {
-	return nw.params[src][dst]
+	nw.checkLink(src, dst)
+	if len(nw.overrides) != 0 {
+		if p, ok := nw.overrides[linkKey(src, dst)]; ok {
+			return p
+		}
+	}
+	return nw.uniform
+}
+
+func (nw *Network) checkLink(src, dst int) {
+	if uint(src) >= uint(nw.n) || uint(dst) >= uint(nw.n) {
+		panic(fmt.Sprintf("netsim: link %d→%d out of range for %d ranks", src, dst, nw.n))
+	}
 }
 
 // perturb applies the network noise stream, if any.
@@ -133,7 +147,7 @@ func (nw *Network) perturb(d vclock.Duration) vclock.Duration {
 //mheta:units bytes bytes
 //mheta:units seconds return
 func (nw *Network) SendCost(src, dst, bytes int) vclock.Duration {
-	return nw.perturb(nw.params[src][dst].SendCost(bytes))
+	return nw.perturb(nw.Link(src, dst).SendCost(bytes))
 }
 
 // RecvCost returns the (possibly perturbed) receiver busy time.
@@ -141,7 +155,7 @@ func (nw *Network) SendCost(src, dst, bytes int) vclock.Duration {
 //mheta:units bytes bytes
 //mheta:units seconds return
 func (nw *Network) RecvCost(src, dst, bytes int) vclock.Duration {
-	return nw.perturb(nw.params[src][dst].RecvCost(bytes))
+	return nw.perturb(nw.Link(src, dst).RecvCost(bytes))
 }
 
 // TransferTime returns the (possibly perturbed) in-flight time.
@@ -149,5 +163,5 @@ func (nw *Network) RecvCost(src, dst, bytes int) vclock.Duration {
 //mheta:units bytes bytes
 //mheta:units seconds return
 func (nw *Network) TransferTime(src, dst, bytes int) vclock.Duration {
-	return nw.perturb(nw.params[src][dst].TransferTime(bytes))
+	return nw.perturb(nw.Link(src, dst).TransferTime(bytes))
 }

@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"testing"
+
+	"mheta/internal/vclock"
+)
+
+// refModel is a deliberately naive reference implementation of the
+// scheduler's observable semantics: a linear-scan priority list and
+// per-link message slices. The fuzzer drives both with the same legal
+// operation stream and fails on any divergence — FIFO-per-(src,dst,tag)
+// matching, dispatch order, and wake behaviour.
+type refModel struct {
+	n      int
+	events []refEvent
+	seq    uint64
+	queues map[uint64][]Msg
+	parked []park
+	last   []vclock.Time
+}
+
+type refEvent struct {
+	t    vclock.Time
+	rank int32
+	seq  uint64
+}
+
+func newRefModel(n int) *refModel {
+	return &refModel{
+		n:      n,
+		queues: make(map[uint64][]Msg),
+		parked: make([]park, n),
+		last:   make([]vclock.Time, n),
+	}
+}
+
+func (m *refModel) ready(r int, t vclock.Time) {
+	m.events = append(m.events, refEvent{t: t, rank: int32(r), seq: m.seq})
+	m.seq++
+}
+
+func (m *refModel) next() (int, bool) {
+	if len(m.events) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := 1; i < len(m.events); i++ {
+		a, b := m.events[i], m.events[best]
+		if a.t < b.t || (a.t == b.t && (a.rank < b.rank || (a.rank == b.rank && a.seq < b.seq))) {
+			best = i
+		}
+	}
+	r := int(m.events[best].rank)
+	m.last[r] = m.events[best].t
+	m.events = append(m.events[:best], m.events[best+1:]...)
+	return r, true
+}
+
+func (m *refModel) send(src, dst int, msg Msg) (woke bool) {
+	key := pairKey(src, dst)
+	m.queues[key] = append(m.queues[key], msg)
+	if p := &m.parked[dst]; p.active && int(p.src) == src && (p.tag == AnyTag || p.tag == msg.Tag) {
+		p.active = false
+		m.ready(dst, p.t)
+		return true
+	}
+	return false
+}
+
+func (m *refModel) tryRecv(src, dst, tag int) (Msg, bool) {
+	key := pairKey(src, dst)
+	q := m.queues[key]
+	for i, msg := range q {
+		if tag == AnyTag || msg.Tag == tag {
+			m.queues[key] = append(q[:i:i], q[i+1:]...)
+			return msg, true
+		}
+	}
+	return Msg{}, false
+}
+
+func (m *refModel) park(r, src, tag int, t vclock.Time) {
+	m.parked[r] = park{active: true, src: int32(src), tag: tag, t: t}
+	m.last[r] = t
+}
+
+// rankState tracks what the driver knows about each rank so the fuzzer
+// only issues protocol-legal operations (the scheduler panics on
+// illegal ones by design; those paths are unit-tested directly).
+type rankState int
+
+const (
+	stIdle rankState = iota // dispatched or never scheduled
+	stQueued
+	stParked
+)
+
+// FuzzScheduler drives Scheduler and refModel with the same operation
+// stream decoded from the fuzz input and checks observable equivalence.
+func FuzzScheduler(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{5, 10, 20, 30, 40, 1, 1, 1, 2, 2, 2, 3, 3, 3, 0, 0})
+	f.Add([]byte{8, 255, 254, 253, 0, 1, 127, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 2 + int(data[0])%6
+		s := New(n)
+		m := newRefModel(n)
+		states := make([]rankState, n)
+		clocks := make([]vclock.Time, n)
+		i := 1
+		nextByte := func() int {
+			if i >= len(data) {
+				return -1
+			}
+			b := int(data[i])
+			i++
+			return b
+		}
+		for {
+			op := nextByte()
+			if op < 0 {
+				break
+			}
+			switch op % 4 {
+			case 0: // Ready an idle rank at its (advanced) clock.
+				r := (op / 4) % n
+				if states[r] != stIdle {
+					continue
+				}
+				d := nextByte()
+				if d < 0 {
+					d = 0
+				}
+				clocks[r] += vclock.Time(d) / 16
+				s.Ready(r, clocks[r])
+				m.ready(r, clocks[r])
+				states[r] = stQueued
+			case 1: // Dispatch the earliest event.
+				got, gok := s.Next()
+				want, wok := m.next()
+				if gok != wok || (gok && got != want) {
+					t.Fatalf("Next: got (%d,%v), model (%d,%v)", got, gok, want, wok)
+				}
+				if gok {
+					states[got] = stIdle
+				}
+			case 2: // Send src→dst with a small tag space.
+				b := nextByte()
+				if b < 0 {
+					break
+				}
+				src := (op / 4) % n
+				dst := b % n
+				tag := (b / 8) % 3
+				msg := Msg{Tag: tag, Arrival: clocks[src]}
+				wokeModel := m.send(src, dst, msg)
+				parkedBefore := states[dst] == stParked
+				s.Send(src, dst, msg)
+				if wokeModel {
+					if !parkedBefore {
+						t.Fatalf("model woke rank %d the driver thought was not parked", dst)
+					}
+					states[dst] = stQueued
+				}
+			case 3: // TryRecv on an idle rank.
+				b := nextByte()
+				if b < 0 {
+					break
+				}
+				dst := (op / 4) % n
+				if states[dst] != stIdle {
+					continue
+				}
+				src := b % n
+				tag := (b / 8) % 3
+				if b%64 == 0 {
+					tag = AnyTag
+				}
+				gotMsg, gok := s.TryRecv(src, dst, tag)
+				wantMsg, wok := m.tryRecv(src, dst, tag)
+				if gok != wok || gotMsg.Tag != wantMsg.Tag || gotMsg.Arrival != wantMsg.Arrival {
+					t.Fatalf("TryRecv(%d,%d,%d): got (%v,%v), model (%v,%v)", src, dst, tag, gotMsg, gok, wantMsg, wok)
+				}
+				if !gok {
+					// Miss: park, exactly as the event engine does.
+					s.Park(dst, src, tag, clocks[dst])
+					m.park(dst, src, tag, clocks[dst])
+					states[dst] = stParked
+				}
+			}
+		}
+		// Drain: remaining dispatch order must match the model exactly.
+		for {
+			got, gok := s.Next()
+			want, wok := m.next()
+			if gok != wok || (gok && got != want) {
+				t.Fatalf("drain: got (%d,%v), model (%d,%v)", got, gok, want, wok)
+			}
+			if !gok {
+				break
+			}
+		}
+		if s.PendingMessages() < 0 {
+			t.Fatal("negative pending count")
+		}
+	})
+}
