@@ -1,11 +1,14 @@
-// mheta-lint machine-checks the repo's determinism and clone-safety
-// contracts (DESIGN.md §5.9) with a suite of custom static analyzers:
+// mheta-lint machine-checks the repo's determinism, clone-safety, and
+// concurrency contracts (DESIGN.md §5.9, §5.11, §5.14) with a suite of
+// custom static analyzers:
 //
 //	maporder        order-sensitive accumulation in range-over-map
 //	clonesafe       Clone methods must account for every mutable field
 //	nondeterminism  wall clocks / global randomness in deterministic code
 //	floatreduce     completion-order merging of parallel float results
 //	units           dimensional consistency of the model's equations
+//	guarded         //mheta:guardedby, //mheta:atomic and //mheta:locks
+//	                discipline via lockset dataflow + lock ordering
 //
 // It runs standalone over package patterns:
 //
@@ -15,10 +18,14 @@
 //
 //	go vet -vettool=$(which mheta-lint) ./...
 //
+// With -json, findings (including suppressed ones, marked) are emitted
+// as a JSON array on stdout instead of the text lines.
+//
 // Exit status: 0 clean, 2 findings, 1 operational error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,8 +56,9 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("mheta-lint", flag.ContinueOnError)
 	which := fs.Bool("which", false, "list registered analyzers (stable order) and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (includes suppressed findings, marked)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: mheta-lint [-which] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: mheta-lint [-which] [-json] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Checks mheta's determinism and clone-safety contracts. Analyzers:\n\n")
 		for _, a := range analysis.All() {
 			summary, _, _ := strings.Cut(a.Doc, "\n")
@@ -89,23 +97,76 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	findings, err := lintkit.Run(analysis.All(), pkgs)
+	findings, err := lintkit.RunAll(analysis.All(), pkgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+		return name
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "mheta-lint: %d finding(s)\n", len(findings))
+
+	if *jsonOut {
+		return emitJSON(findings, relName)
+	}
+
+	live := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		live++
+		fmt.Printf("%s:%d:%d: %s (%s)\n", relName(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "mheta-lint: %d finding(s)\n", live)
+		return 2
+	}
+	return 0
+}
+
+// jsonFinding is the machine-readable finding record -json emits. Unlike
+// the text output it keeps suppressed findings, marked, so CI artifacts
+// record what the //lint:ignore directives in the tree are hiding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func emitJSON(findings []lintkit.Finding, relName func(string) string) int {
+	recs := make([]jsonFinding, 0, len(findings))
+	live := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
+		recs = append(recs, jsonFinding{
+			File:       relName(f.Pos.Filename),
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "mheta-lint: %d finding(s)\n", live)
 		return 2
 	}
 	return 0

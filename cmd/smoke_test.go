@@ -109,9 +109,10 @@ func TestSearch(t *testing.T) {
 	}
 }
 
-// writeBadModule lays out a throwaway module containing one deliberate
-// determinism violation (a //lint:deterministic file calling time.Now),
-// the known-bad input the lint smoke tests run against.
+// writeBadModule lays out a throwaway module containing two deliberate
+// violations — a //lint:deterministic file calling time.Now, and a
+// //mheta:guardedby field read without its lock — the known-bad input
+// the lint smoke tests run against.
 func writeBadModule(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -124,6 +125,19 @@ import "time"
 
 // Stamp reads the wall clock inside the deterministic contract.
 func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"racy.go": `package badmod
+
+import "sync"
+
+// Box plants a lock-discipline violation for the guarded analyzer.
+type Box struct {
+	mu sync.Mutex
+	n  int //mheta:guardedby mu
+}
+
+// Peek reads n without holding mu.
+func (b *Box) Peek() int { return b.n }
 `,
 	}
 	for name, src := range files {
@@ -161,6 +175,9 @@ func TestLintKnownBad(t *testing.T) {
 	if !strings.Contains(string(out), "nondeterminism") || !strings.Contains(string(out), "time.Now") {
 		t.Errorf("finding not reported:\n%s", out)
 	}
+	if !strings.Contains(string(out), "guarded") || !strings.Contains(string(out), "requires holding b.mu") {
+		t.Errorf("guardedby finding not reported:\n%s", out)
+	}
 
 	cmd = exec.Command("go", "vet", "-vettool="+lint, "./...")
 	cmd.Dir = bad
@@ -170,6 +187,49 @@ func TestLintKnownBad(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "time.Now") {
 		t.Errorf("vettool finding not reported:\n%s", out)
+	}
+	if !strings.Contains(string(out), "requires holding b.mu") {
+		t.Errorf("vettool guardedby finding not reported:\n%s", out)
+	}
+}
+
+// TestLintJSON pins the machine-readable output: -json on the bad module
+// must emit a JSON array whose records carry file, position, analyzer,
+// message and suppression status, and still exit 2.
+func TestLintJSON(t *testing.T) {
+	bad := writeBadModule(t)
+	cmd := exec.Command(filepath.Join(binDir, "mheta-lint"), "-json", "./...")
+	cmd.Dir = bad
+	out, err := cmd.Output() // stdout only: the JSON must stand alone
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("-json on bad module: err=%v (want exit 2)\n%s", err, out)
+	}
+	var findings []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, out)
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Message == "" {
+			t.Errorf("incomplete finding record: %+v", f)
+		}
+		if f.Suppressed {
+			t.Errorf("no suppressions planted, yet %+v is marked suppressed", f)
+		}
+		byAnalyzer[f.Analyzer]++
+	}
+	for _, want := range []string{"nondeterminism", "guarded"} {
+		if byAnalyzer[want] == 0 {
+			t.Errorf("-json findings missing analyzer %s: %v", want, byAnalyzer)
+		}
 	}
 }
 

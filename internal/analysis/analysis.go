@@ -1,7 +1,7 @@
 // Package analysis assembles the mheta-lint suite: the custom analyzers
-// that machine-check this repo's determinism, clone-safety, and
-// dimensional contracts (DESIGN.md §5.7/§5.9/§5.11). cmd/mheta-lint runs
-// them standalone or as a `go vet -vettool`.
+// that machine-check this repo's determinism, clone-safety, dimensional,
+// and concurrency contracts (DESIGN.md §5.7/§5.9/§5.11/§5.14).
+// cmd/mheta-lint runs them standalone or as a `go vet -vettool`.
 package analysis
 
 import (
@@ -10,6 +10,7 @@ import (
 
 	"mheta/internal/analysis/clonesafe"
 	"mheta/internal/analysis/floatreduce"
+	"mheta/internal/analysis/guarded"
 	"mheta/internal/analysis/lintkit"
 	"mheta/internal/analysis/maporder"
 	"mheta/internal/analysis/nondeterminism"
@@ -21,6 +22,7 @@ import (
 var registry = []*lintkit.Analyzer{
 	clonesafe.Analyzer,
 	floatreduce.Analyzer,
+	guarded.Analyzer,
 	maporder.Analyzer,
 	nondeterminism.Analyzer,
 	units.Analyzer,

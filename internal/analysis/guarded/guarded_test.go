@@ -1,0 +1,197 @@
+package guarded_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mheta/internal/analysis/guarded"
+	"mheta/internal/analysis/lintkit"
+	"mheta/internal/analysis/lintkit/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", guarded.Analyzer, "guarded_bad", "guarded_good", "guarded_order")
+}
+
+// checkSource runs the guarded analyzer over a single in-memory file,
+// importing std packages via export data.
+func checkSource(t *testing.T, src string, imports ...string) []lintkit.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	exports, err := lintkit.StdExports(".", imports)
+	if err != nil {
+		t.Fatalf("std exports: %v", err)
+	}
+	imp := lintkit.ExportImporter(fset, func(path string) (string, bool) {
+		p, ok := exports[path]
+		return p, ok
+	})
+	pkg, info, err := lintkit.Check("p", fset, []*ast.File{f}, imp)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	findings, err := lintkit.Run([]*lintkit.Analyzer{guarded.Analyzer}, []*lintkit.Package{{
+		PkgPath: "p", Fset: fset, Files: []*ast.File{f}, Types: pkg, TypesInfo: info,
+	}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+// A reason-less //lint:ignore must not suppress anything — it becomes a
+// finding itself and the guarded diagnostic still fires.
+func TestReasonlessSuppressionStaysFinding(t *testing.T) {
+	findings := checkSource(t, `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int //mheta:guardedby mu
+}
+
+func (s *S) Get() int {
+	//lint:ignore guarded
+	return s.n
+}
+`, "sync")
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want reason-less directive + unsuppressed access", findings)
+	}
+	var sawReason, sawAccess bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, "needs a reason") {
+			sawReason = true
+		}
+		if strings.Contains(f.Message, "requires holding s.mu") {
+			sawAccess = true
+		}
+	}
+	if !sawReason || !sawAccess {
+		t.Errorf("findings = %v, want a needs-a-reason finding and the guarded finding", findings)
+	}
+}
+
+// Directive validation: strays, bad lock names, bad types.
+func TestDirectiveValidation(t *testing.T) {
+	findings := checkSource(t, `package p
+
+import "sync"
+
+//mheta:guardedby mu
+var loose int
+
+type S struct {
+	mu sync.Mutex
+	a  int //mheta:guardedby nosuch
+	b  []int //mheta:atomic
+}
+
+//mheta:locks holds mu
+func (s *S) f() {}
+`, "sync")
+	wants := []string{
+		"must sit on a struct field",
+		"names no mutex field \"nosuch\"",
+		"which sync/atomic cannot access",
+		"verb must be requires, acquires, or releases",
+	}
+	for _, w := range wants {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in %v", w, findings)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("findings = %v, want exactly %d", findings, len(wants))
+	}
+}
+
+// Guard specs and locking contracts cross package boundaries through
+// the external.go mirror: package b below never sees package a's
+// source annotations, only the mirror entries registered here.
+func TestExternalMirror(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a", "a.go"), `package a
+
+import "sync"
+
+type S struct {
+	Mu sync.Mutex
+	N  int
+}
+
+func (s *S) SetLocked(v int) { s.N = v }
+`)
+	writeFile(t, filepath.Join(dir, "b", "b.go"), `package b
+
+import "tmpmod/a"
+
+func Bad(s *a.S) int { return s.N }
+
+func BadCall(s *a.S) { s.SetLocked(1) }
+
+func Good(s *a.S) int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.SetLocked(2)
+	return s.N
+}
+`)
+	guarded.ExternalFields["tmpmod/a.S.N"] = "Mu"
+	guarded.ExternalFuncs["(*tmpmod/a.S).SetLocked"] = guarded.Contract{Requires: []string{"Mu"}}
+	defer func() {
+		delete(guarded.ExternalFields, "tmpmod/a.S.N")
+		delete(guarded.ExternalFuncs, "(*tmpmod/a.S).SetLocked")
+	}()
+
+	pkgs, err := lintkit.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := lintkit.Run([]*lintkit.Analyzer{guarded.Analyzer}, pkgs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want exactly the two violations in b", findings)
+	}
+	if !strings.Contains(findings[0].Message, "read of s.N requires holding s.Mu") {
+		t.Errorf("finding[0] = %v, want unguarded read via ExternalFields", findings[0])
+	}
+	if !strings.Contains(findings[1].Message, "call to SetLocked requires holding s.Mu") {
+		t.Errorf("finding[1] = %v, want contract violation via ExternalFuncs", findings[1])
+	}
+	for _, f := range findings {
+		if filepath.Base(f.Pos.Filename) != "b.go" {
+			t.Errorf("finding in %s, want all findings in b.go", f.Pos.Filename)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package guarded
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// addEdge records one acquisition-order observation: the `to` lock was
+// acquired while a `from` lock was held. First position per directed
+// edge wins, so diagnostics are stable across the two analysis phases.
+func (c *checker) addEdge(from, to string, pos token.Pos) {
+	k := [2]string{from, to}
+	if _, ok := c.edges[k]; !ok {
+		c.edges[k] = pos
+	}
+}
+
+// reportOrderCycles reports potential deadlocks in the acquisition-order
+// graph: a pair of locks acquired in both orders somewhere in the
+// package, or two instances of the same declared lock nested (which has
+// no defined order at all). The diagnostic lands on the latest-seen
+// acquisition — the one that completed the cycle — not the acquisition
+// that established the original order.
+func (c *checker) reportOrderCycles() {
+	type edge struct {
+		from, to string
+		pos      token.Pos
+	}
+	es := make([]edge, 0, len(c.edges))
+	for k, p := range c.edges {
+		es = append(es, edge{k[0], k[1], p})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].pos < es[j].pos })
+	adj := map[string][]string{}
+	for _, e := range es {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reported := map[[2]string]bool{}
+	for i := len(es) - 1; i >= 0; i-- {
+		e := es[i]
+		if e.from == e.to {
+			c.reportf(e.pos, "nested acquisition of two %s locks (no fixed order between instances; potential deadlock)", e.to)
+			continue
+		}
+		key := [2]string{e.from, e.to}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if reported[key] {
+			continue
+		}
+		if reachable(adj, e.to, e.from) {
+			reported[key] = true
+			c.reportf(e.pos, "lock order inversion: %s acquired while holding %s, but elsewhere they are acquired in the opposite order (potential deadlock)", e.to, e.from)
+		}
+	}
+}
+
+// reachable reports whether `to` can be reached from `from` in adj.
+func reachable(adj map[string][]string, from, to string) bool {
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[n] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// reportAtomicMixing reports unannotated fields touched both through
+// sync/atomic and plainly: one of the two sides is wrong, and the fix
+// is either //mheta:atomic (all accesses atomic) or a guard.
+func (c *checker) reportAtomicMixing() {
+	type mix struct {
+		field *types.Var
+		plain token.Pos
+	}
+	var ms []mix
+	for f, p := range c.plainUse {
+		if _, atomically := c.atomicUse[f]; atomically {
+			ms = append(ms, mix{f, p})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].plain < ms[j].plain })
+	for _, m := range ms {
+		c.reportf(m.plain, "field %s mixes sync/atomic and plain access (annotate //mheta:atomic or guard it with a mutex)", m.field.Name())
+	}
+}

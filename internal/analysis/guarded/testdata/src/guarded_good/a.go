@@ -1,0 +1,137 @@
+// Package guarded_good exercises patterns the guarded analyzer must
+// accept silently: plain lock/unlock, defer-unlock, RLock reads,
+// fork-join under a held lock, fresh constructors, inferred and
+// declared //mheta:locks contracts, and reasoned suppressions.
+package guarded_good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counter struct {
+	mu   sync.Mutex
+	n    int          //mheta:guardedby mu
+	hits atomic.Int64 //mheta:atomic
+}
+
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits.Add(1)
+	return c.n
+}
+
+// Early return with an explicit unlock on each path.
+func (c *Counter) GetOrInit() int {
+	c.mu.Lock()
+	if c.n != 0 {
+		v := c.n
+		c.mu.Unlock()
+		return v
+	}
+	c.n = 42
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// A literal spawned while the lock is held inherits it: the parent
+// blocks on the channel before unlocking (fork-join under lock).
+func (c *Counter) Fan() {
+	c.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		c.n++
+		close(done)
+	}()
+	<-done
+	c.mu.Unlock()
+}
+
+// A reasoned suppression is honored.
+func (c *Counter) Unverified() int {
+	//lint:ignore guarded fixture demonstrates a reasoned suppression
+	return c.n
+}
+
+// Freshly constructed values are unshared; no lock ceremony needed.
+func Fresh() int {
+	c := Counter{}
+	c.n = 5
+	return c.n
+}
+
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]int //mheta:guardedby mu
+}
+
+func NewTable() *Table {
+	t := &Table{}
+	t.m = make(map[string]int)
+	return t
+}
+
+func (t *Table) Get(k string) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.m[k]
+	return v, ok
+}
+
+func (t *Table) Put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+// putLocked's requirement is inferred bottom-up; locked callers pass.
+func (t *Table) putLocked(k string, v int) {
+	t.m[k] = v
+}
+
+func (t *Table) PutTwo(k1, k2 string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.putLocked(k1, v)
+	t.putLocked(k2, v)
+}
+
+// The declared form of the same contract, at an exported boundary.
+//
+//mheta:locks requires mu
+func (t *Table) PutPrelocked(k string, v int) {
+	t.m[k] = v
+}
+
+func (t *Table) Replace(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, k)
+	t.PutPrelocked(k, v)
+}
+
+// lock's net acquisition is inferred; unlock declares what inference
+// cannot see (that its caller holds the lock it releases).
+func (t *Table) lock() {
+	t.mu.Lock()
+}
+
+//mheta:locks requires mu
+//mheta:locks releases mu
+func (t *Table) unlock() {
+	t.mu.Unlock()
+}
+
+func (t *Table) reset() {
+	t.lock()
+	t.m = map[string]int{}
+	t.unlock()
+}

@@ -1,0 +1,40 @@
+// Package guarded_order exercises the lock-acquisition-order checks.
+package guarded_order
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// ab establishes the order A before B.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ba inverts it; the diagnostic lands on the acquisition completing the
+// cycle.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order inversion`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Re-locking the same instance is an immediate self-deadlock.
+func double(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `acquired while already held`
+	a.mu.Unlock()
+}
+
+// Two instances of one declared lock have no fixed order.
+func twoAs(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock() // want `nested acquisition of two .* locks`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

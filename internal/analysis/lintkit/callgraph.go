@@ -1,0 +1,142 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the static, package-local call graph: an edge per
+// reference from one declared function's body to another function
+// declared in the same package. References — not only direct calls —
+// count as edges (`go p.worker`, a method value passed to a helper), so
+// a bottom-up pass sees a callee's summary before any body that could
+// reach it. Calls that leave the package are invisible here; lintkit
+// has no cross-package fact store, so those are the caller's to resolve
+// from declared contracts (the external.go mirror pattern).
+//
+// The graph is the interprocedural half the dataflow engine lacks:
+// analyzers process BottomUp components so helper summaries (inferred
+// locking contracts, say) exist by the time their callers are
+// interpreted. References inside a declaration's nested function
+// literals attribute to the enclosing declaration.
+type CallGraph struct {
+	// Decls maps each function declared in the package (with a body) to
+	// its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+
+	// Callees lists, for each declared function, the declared functions
+	// its body references, deduplicated, in source-position order.
+	Callees map[*types.Func][]*types.Func
+}
+
+// NewCallGraph builds the call graph of one type-checked package.
+func NewCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		Callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				g.Decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.Decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := info.Uses[id].(*types.Func)
+			if !ok || seen[callee] {
+				return true
+			}
+			if _, declared := g.Decls[callee]; declared {
+				seen[callee] = true
+				g.Callees[fn] = append(g.Callees[fn], callee)
+			}
+			return true
+		})
+		sort.Slice(g.Callees[fn], func(i, j int) bool {
+			return g.Callees[fn][i].Pos() < g.Callees[fn][j].Pos()
+		})
+	}
+	return g
+}
+
+// BottomUp returns the declared functions grouped into strongly
+// connected components in dependency order: every component a function
+// references appears before the function's own. Mutually recursive
+// functions share a component. The order is deterministic — roots are
+// visited and components listed by source position.
+func (g *CallGraph) BottomUp() [][]*types.Func {
+	fns := make([]*types.Func, 0, len(g.Decls))
+	for fn := range g.Decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	// Tarjan's algorithm. Components complete only after every component
+	// they reference, so emission order is already bottom-up.
+	t := &tarjan{
+		graph: g,
+		index: make(map[*types.Func]int),
+		low:   make(map[*types.Func]int),
+		on:    make(map[*types.Func]bool),
+	}
+	for _, fn := range fns {
+		if _, visited := t.index[fn]; !visited {
+			t.visit(fn)
+		}
+	}
+	for _, scc := range t.sccs {
+		sort.Slice(scc, func(i, j int) bool { return scc[i].Pos() < scc[j].Pos() })
+	}
+	return t.sccs
+}
+
+type tarjan struct {
+	graph *CallGraph
+	next  int
+	index map[*types.Func]int
+	low   map[*types.Func]int
+	on    map[*types.Func]bool
+	stack []*types.Func
+	sccs  [][]*types.Func
+}
+
+func (t *tarjan) visit(fn *types.Func) {
+	t.index[fn] = t.next
+	t.low[fn] = t.next
+	t.next++
+	t.stack = append(t.stack, fn)
+	t.on[fn] = true
+	for _, callee := range t.graph.Callees[fn] {
+		if _, visited := t.index[callee]; !visited {
+			t.visit(callee)
+			t.low[fn] = min(t.low[fn], t.low[callee])
+		} else if t.on[callee] {
+			t.low[fn] = min(t.low[fn], t.index[callee])
+		}
+	}
+	if t.low[fn] == t.index[fn] {
+		var scc []*types.Func
+		for {
+			top := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			t.on[top] = false
+			scc = append(scc, top)
+			if top == fn {
+				break
+			}
+		}
+		t.sccs = append(t.sccs, scc)
+	}
+}

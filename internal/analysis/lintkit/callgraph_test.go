@@ -1,0 +1,141 @@
+package lintkit_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"mheta/internal/analysis/lintkit"
+)
+
+func buildGraph(t *testing.T, src string) ([][]string, *lintkit.CallGraph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, info, err := lintkit.Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	g := lintkit.NewCallGraph([]*ast.File{f}, info)
+	var names [][]string
+	for _, scc := range g.BottomUp() {
+		var ns []string
+		for _, fn := range scc {
+			ns = append(ns, fn.Name())
+		}
+		names = append(names, ns)
+	}
+	return names, g
+}
+
+// indexOf returns the component index holding name, or -1.
+func indexOf(sccs [][]string, name string) int {
+	for i, scc := range sccs {
+		for _, n := range scc {
+			if n == name {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestCallGraphBottomUpOrder(t *testing.T) {
+	sccs, _ := buildGraph(t, `package p
+
+func top() { mid() }
+func mid() { leaf() }
+func leaf() {}
+`)
+	if len(sccs) != 3 {
+		t.Fatalf("sccs = %v, want 3 singletons", sccs)
+	}
+	if !(indexOf(sccs, "leaf") < indexOf(sccs, "mid") && indexOf(sccs, "mid") < indexOf(sccs, "top")) {
+		t.Errorf("order %v, want leaf before mid before top", sccs)
+	}
+}
+
+func TestCallGraphMutualRecursionSharesComponent(t *testing.T) {
+	sccs, _ := buildGraph(t, `package p
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func driver() bool { return even(4) }
+`)
+	ei, oi := indexOf(sccs, "even"), indexOf(sccs, "odd")
+	if ei != oi {
+		t.Errorf("even/odd in different components: %v", sccs)
+	}
+	if di := indexOf(sccs, "driver"); di <= ei {
+		t.Errorf("driver not after its callees: %v", sccs)
+	}
+}
+
+func TestCallGraphSeesMethodsAndReferences(t *testing.T) {
+	sccs, g := buildGraph(t, `package p
+
+type T struct{ n int }
+
+func (t *T) helper() { t.n++ }
+
+func (t *T) Run() {
+	go t.helper()
+	f := spawn
+	_ = f
+}
+
+func spawn() {}
+`)
+	// Both the method-value reference (go t.helper) and the bare
+	// function reference (f := spawn) are edges.
+	if !(indexOf(sccs, "helper") < indexOf(sccs, "Run")) {
+		t.Errorf("helper not before Run: %v", sccs)
+	}
+	if !(indexOf(sccs, "spawn") < indexOf(sccs, "Run")) {
+		t.Errorf("spawn not before Run: %v", sccs)
+	}
+	for fn := range g.Decls {
+		if fn.Name() == "Run" {
+			if len(g.Callees[fn]) != 2 {
+				t.Errorf("Run callees = %v, want 2", g.Callees[fn])
+			}
+		}
+	}
+}
+
+func TestCallGraphDeterministic(t *testing.T) {
+	src := `package p
+
+func c() {}
+func b() { c() }
+func a() { b(); c() }
+`
+	first, _ := buildGraph(t, src)
+	for i := 0; i < 10; i++ {
+		again, _ := buildGraph(t, src)
+		if len(again) != len(first) {
+			t.Fatalf("component count changed: %v vs %v", again, first)
+		}
+		for j := range first {
+			if len(first[j]) != len(again[j]) || first[j][0] != again[j][0] {
+				t.Fatalf("order changed: %v vs %v", again, first)
+			}
+		}
+	}
+}

@@ -19,20 +19,33 @@
 //   - Loops run to a bounded fixpoint (maxLoopPasses) and the loop entry
 //     state is joined with every body pass, so zero-iteration paths are
 //     always represented.
-//   - break/continue/goto are not modeled; their effect is covered by
-//     the conservative joins above.
+//   - Branch arms that cannot fall through (every suffix ends in return,
+//     break/continue/goto, panic, or os.Exit) are excluded from the
+//     merge after the branch, so "if cond { cleanup; return }" does not
+//     pollute the straight-line state. break/continue state is dropped
+//     rather than propagated to the enclosing loop exit.
 //   - The analysis is intraprocedural: calls are valued by the client
 //     (typically from annotations or type information), never by
 //     descending into the callee.
 //   - Function literals are analyzed at their point of appearance with a
 //     copy of the enclosing environment (closures observe the bindings
 //     in scope), and their effects on captured variables are ignored.
+//     This includes literals in call position — go func(){…}(),
+//     defer func(){…}(), and immediately-invoked closures.
+//
+// Clients whose lattice describes a property of the program *point*
+// rather than of individual variables (a set of held locks, say)
+// additionally implement the optional Stateful interface; the engine
+// then threads one extra V — the flow state — through the same clone,
+// join, and fixpoint machinery and exposes it at every hook via
+// Interp.State.
 package dataflow
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // maxLoopPasses bounds the per-loop fixpoint iteration. Values join
@@ -95,9 +108,38 @@ type Semantics[V comparable] interface {
 	Return(fn ast.Node, ret *ast.ReturnStmt, vals []V)
 }
 
+// Stateful is an optional Semantics extension for analyses that track a
+// property of the program point itself — a lockset, a taint frontier —
+// rather than only per-variable values. The flow state is one extra V
+// carried by the environment: cloned at branches, merged with
+// Semantics.Join at control-flow joins, and readable from any hook via
+// Interp.State. The engine applies the client's transfer functions at
+// the statements that change it:
+//
+//   - CallState after every ordinary call (mu.Lock() acquires here);
+//   - DeferState for a defer'd call, whose effect is modeled at the
+//     defer site rather than at function exit — the standard
+//     "defer mu.Unlock()" idiom then reads as a release scoped to the
+//     remainder of the function;
+//   - no transfer at all for a go'd call: its effects happen on another
+//     goroutine. The spawned literal's *body* is still analyzed, against
+//     a snapshot of the current environment and state.
+//
+// ReturnState and ExitState observe the state leaving the function, for
+// summary inference (ExitState fires only when the body can fall off the
+// end).
+type Stateful[V comparable] interface {
+	CallState(call *ast.CallExpr, state V) V
+	DeferState(call *ast.CallExpr, state V) V
+	ReturnState(fn ast.Node, ret *ast.ReturnStmt, state V)
+	ExitState(fn ast.Node, state V)
+}
+
 // Env maps variables to abstract values. Missing objects are Bottom.
+// It also carries the Stateful flow state, when the client uses one.
 type Env[V comparable] struct {
-	vals map[types.Object]V
+	vals  map[types.Object]V
+	state V
 }
 
 // NewEnv returns an empty environment.
@@ -118,8 +160,15 @@ func (e *Env[V]) Set(obj types.Object, v V) {
 	}
 }
 
+// State returns the flow state (see Stateful).
+func (e *Env[V]) State() V { return e.state }
+
+// SetState replaces the flow state. Stateful clients call it from Enter
+// to seed a function's entry contract.
+func (e *Env[V]) SetState(v V) { e.state = v }
+
 func (e *Env[V]) clone() *Env[V] {
-	c := &Env[V]{vals: make(map[types.Object]V, len(e.vals))}
+	c := &Env[V]{vals: make(map[types.Object]V, len(e.vals)), state: e.state}
 	for k, v := range e.vals {
 		c.vals[k] = v
 	}
@@ -127,9 +176,14 @@ func (e *Env[V]) clone() *Env[V] {
 }
 
 // joinInto merges src into e pointwise with join; missing bindings count
-// as bottom (join's identity). It reports whether e changed.
+// as bottom (join's identity). The flow state is joined too. It reports
+// whether e changed.
 func (e *Env[V]) joinInto(join func(a, b V) V, bottom V, src *Env[V]) bool {
 	changed := false
+	if ns := join(e.state, src.state); ns != e.state {
+		e.state = ns
+		changed = true
+	}
 	for k, sv := range src.vals {
 		ev, ok := e.vals[k]
 		if !ok {
@@ -148,7 +202,19 @@ func (e *Env[V]) joinInto(join func(a, b V) V, bottom V, src *Env[V]) bool {
 type Interp[V comparable] struct {
 	Info *types.Info
 	Sem  Semantics[V]
+
+	// st is Sem's Stateful view, nil when Sem does not implement it.
+	// cur mirrors the flow state of the environment currently being
+	// interpreted; the walk is depth-first and single-threaded, so the
+	// last-synced value is always the current program point's.
+	st  Stateful[V]
+	cur V
 }
+
+// State returns the flow state at the program point currently being
+// interpreted. It is meaningful only inside hook callbacks issued by
+// this Interp, and only for Stateful clients.
+func (in *Interp[V]) State() V { return in.cur }
 
 // Func analyzes one function declaration or literal from scratch.
 func (in *Interp[V]) Func(fn ast.Node) {
@@ -158,6 +224,9 @@ func (in *Interp[V]) Func(fn ast.Node) {
 // funcWith analyzes fn starting from env (used for closures, which see
 // the enclosing bindings).
 func (in *Interp[V]) funcWith(fn ast.Node, env *Env[V]) {
+	if in.st == nil {
+		in.st, _ = in.Sem.(Stateful[V])
+	}
 	var ft *ast.FuncType
 	var body *ast.BlockStmt
 	switch f := fn.(type) {
@@ -174,6 +243,9 @@ func (in *Interp[V]) funcWith(fn ast.Node, env *Env[V]) {
 	fs := &funcScope[V]{in: in, fn: fn, resultObjs: namedResults(in.Info, ft)}
 	in.Sem.Enter(fn, ft, env)
 	fs.stmt(env, body)
+	if in.st != nil && !fs.terminates(body) {
+		in.st.ExitState(fn, env.state)
+	}
 }
 
 // namedResults resolves the objects of named results, for naked returns.
@@ -202,8 +274,18 @@ func (fs *funcScope[V]) objectOf(id *ast.Ident) types.Object {
 	return fs.in.Info.ObjectOf(id)
 }
 
+// sync publishes env's flow state as the Interp's current-point state,
+// so hooks invoked next observe the right lockset. Called wherever the
+// engine switches between environments (branch arms, closure bodies).
+func (fs *funcScope[V]) sync(env *Env[V]) {
+	if fs.in.st != nil {
+		fs.in.cur = env.state
+	}
+}
+
 // eval computes the abstract value of e under env.
 func (fs *funcScope[V]) eval(env *Env[V], e ast.Expr) V {
+	fs.sync(env)
 	sem := fs.in.Sem
 	switch x := e.(type) {
 	case *ast.ParenExpr:
@@ -232,11 +314,12 @@ func (fs *funcScope[V]) eval(env *Env[V], e ast.Expr) V {
 	case *ast.SliceExpr:
 		return fs.eval(env, x.X)
 	case *ast.CallExpr:
-		return sem.Call(x, func(arg ast.Expr) V { return fs.eval(env, arg) })
+		return fs.call(env, x, normalCall)
 	case *ast.FuncLit:
 		// Analyze the literal's body where it appears; closures observe
 		// a snapshot of the enclosing environment.
 		fs.in.funcWith(x, env.clone())
+		fs.sync(env)
 		return sem.Atom(e)
 	case *ast.CompositeLit:
 		for _, el := range x.Elts {
@@ -257,8 +340,46 @@ func (fs *funcScope[V]) eval(env *Env[V], e ast.Expr) V {
 	}
 }
 
+// callMode distinguishes how a call's effects apply at this point.
+type callMode int
+
+const (
+	normalCall callMode = iota
+	goCall              // effects happen on another goroutine
+	deferCall           // effects modeled at the defer site (DeferState)
+)
+
+// call evaluates one call expression: a literal callee's body is
+// analyzed where it appears, the client values the call, and — for
+// Stateful clients — the mode-appropriate state transfer is applied.
+func (fs *funcScope[V]) call(env *Env[V], x *ast.CallExpr, mode callMode) V {
+	if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+		// go func(){…}(), defer func(){…}(), and immediately-invoked
+		// closures: the body executes against the bindings (and, for
+		// go, the locks — a fork-join-under-lock assumption the guarded
+		// analyzer documents) in scope here.
+		fs.in.funcWith(lit, env.clone())
+		fs.sync(env)
+	}
+	v := fs.in.Sem.Call(x, func(arg ast.Expr) V { return fs.eval(env, arg) })
+	if fs.in.st != nil {
+		switch mode {
+		case normalCall:
+			env.state = fs.in.st.CallState(x, env.state)
+		case deferCall:
+			env.state = fs.in.st.DeferState(x, env.state)
+		case goCall:
+			// No transfer: the spawned call's effects are not visible on
+			// this goroutine's path.
+		}
+		fs.in.cur = env.state
+	}
+	return v
+}
+
 // store records an assignment of v to lhs, routing through Bind.
 func (fs *funcScope[V]) store(env *Env[V], lhs ast.Expr, rhs ast.Expr, v V) {
+	fs.sync(env)
 	var obj types.Object
 	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
 		if id.Name == "_" {
@@ -352,6 +473,7 @@ func assignOp(tok token.Token) token.Token {
 
 // stmt interprets one statement, mutating env in place.
 func (fs *funcScope[V]) stmt(env *Env[V], s ast.Stmt) {
+	fs.sync(env)
 	sem := fs.in.Sem
 	switch st := s.(type) {
 	case *ast.BlockStmt:
@@ -371,13 +493,24 @@ func (fs *funcScope[V]) stmt(env *Env[V], s ast.Stmt) {
 		fs.eval(env, st.Cond)
 		thenEnv := env.clone()
 		fs.stmt(thenEnv, st.Body)
+		thenStops := fs.terminates(st.Body)
 		if st.Else != nil {
 			elseEnv := env.clone()
 			fs.stmt(elseEnv, st.Else)
-			*env = *NewEnv[V]()
-			env.joinInto(sem.Join, sem.Bottom(), thenEnv)
-			env.joinInto(sem.Join, sem.Bottom(), elseEnv)
-		} else {
+			switch elseStops := fs.terminates(st.Else); {
+			case thenStops && elseStops:
+				// Neither arm falls through; whatever follows is only
+				// reachable by jumps the engine does not model. Keep the
+				// pre-state.
+			case thenStops:
+				*env = *elseEnv
+			case elseStops:
+				*env = *thenEnv
+			default:
+				thenEnv.joinInto(sem.Join, sem.Bottom(), elseEnv)
+				*env = *thenEnv
+			}
+		} else if !thenStops {
 			env.joinInto(sem.Join, sem.Bottom(), thenEnv)
 		}
 	case *ast.ForStmt:
@@ -440,15 +573,72 @@ func (fs *funcScope[V]) stmt(env *Env[V], s ast.Stmt) {
 	case *ast.LabeledStmt:
 		fs.stmt(env, st.Stmt)
 	case *ast.GoStmt:
-		fs.eval(env, st.Call)
+		fs.call(env, st.Call, goCall)
 	case *ast.DeferStmt:
-		fs.eval(env, st.Call)
+		fs.call(env, st.Call, deferCall)
 	case *ast.SendStmt:
 		fs.eval(env, st.Chan)
 		fs.eval(env, st.Value)
 	case *ast.IncDecStmt:
+		// x++ both reads and writes x: evaluate, then store, so write
+		// checks (guarded fields) fire alongside read checks. The engine
+		// cannot synthesize the implicit ±1 operand, so the stored value
+		// is conservative bottom — subsequent reads fall back to Atom.
 		fs.eval(env, st.X)
+		fs.store(env, st.X, nil, sem.Bottom())
 	}
+}
+
+// terminates reports whether s cannot fall through to the statement
+// after it on the straight-line path: every suffix ends in a return, an
+// explicit jump, panic, or a no-return call. Terminated branch arms are
+// excluded from the merge after the branch, so the canonical
+//
+//	mu.Lock()
+//	if cached { mu.Unlock(); return v }
+//	…still holding mu…
+//
+// keeps its lock. break/continue/goto count as terminating for the
+// local join even though their state reaches an enclosing construct;
+// for a warn-only linter, dropping that contribution trades rare false
+// negatives for fewer join-pollution false positives.
+func (fs *funcScope[V]) terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		return len(st.List) > 0 && fs.terminates(st.List[len(st.List)-1])
+	case *ast.IfStmt:
+		return st.Else != nil && fs.terminates(st.Body) && fs.terminates(st.Else)
+	case *ast.LabeledStmt:
+		return fs.terminates(st.Stmt)
+	case *ast.ExprStmt:
+		return fs.isNoReturn(st.X)
+	}
+	return false
+}
+
+// isNoReturn recognizes calls that never return: the panic builtin,
+// os.Exit, and log.Fatal*.
+func (fs *funcScope[V]) isNoReturn(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := fs.objectOf(fun).(*types.Builtin); ok {
+			return b.Name() == "panic"
+		}
+	case *ast.SelectorExpr:
+		if f, ok := fs.objectOf(fun.Sel).(*types.Func); ok {
+			full := f.FullName()
+			return full == "os.Exit" || strings.HasPrefix(full, "log.Fatal")
+		}
+	}
+	return false
 }
 
 // loop runs body to a bounded fixpoint, always joining the entry state
@@ -476,9 +666,24 @@ func (fs *funcScope[V]) branches(env *Env[V], body *ast.BlockStmt, withPre bool)
 	for _, clause := range body.List {
 		clauseEnv := env.clone()
 		fs.stmt(clauseEnv, clause)
-		merged.joinInto(sem.Join, sem.Bottom(), clauseEnv)
+		if !fs.clauseTerminates(clause) {
+			merged.joinInto(sem.Join, sem.Bottom(), clauseEnv)
+		}
 	}
 	*env = *merged
+}
+
+// clauseTerminates reports whether a case/comm clause's body cannot fall
+// through to the statement after the switch/select.
+func (fs *funcScope[V]) clauseTerminates(clause ast.Stmt) bool {
+	var list []ast.Stmt
+	switch c := clause.(type) {
+	case *ast.CaseClause:
+		list = c.Body
+	case *ast.CommClause:
+		list = c.Body
+	}
+	return len(list) > 0 && fs.terminates(list[len(list)-1])
 }
 
 // decl interprets a local var/const declaration.
@@ -520,6 +725,7 @@ func (fs *funcScope[V]) decl(env *Env[V], st *ast.DeclStmt) {
 // ret evaluates a return statement's results, resolving naked returns
 // from the named-result bindings.
 func (fs *funcScope[V]) ret(env *Env[V], st *ast.ReturnStmt) {
+	fs.sync(env)
 	sem := fs.in.Sem
 	var vals []V
 	if len(st.Results) == 0 && len(fs.resultObjs) > 0 {
@@ -546,6 +752,9 @@ func (fs *funcScope[V]) ret(env *Env[V], st *ast.ReturnStmt) {
 		}
 	}
 	sem.Return(fs.fn, st, vals)
+	if fs.in.st != nil {
+		fs.in.st.ReturnState(fs.fn, st, env.state)
+	}
 }
 
 // countResults returns the declared result count of fn.

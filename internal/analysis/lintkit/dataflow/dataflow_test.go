@@ -360,6 +360,89 @@ func f(e1, o1 int) (int, int) {
 	expectReturns(t, rets, "f", pEven, pOdd)
 }
 
+func TestTerminatedArmExcludedFromJoin(t *testing.T) {
+	rets := analyze(t, `package p
+
+func f(c bool) int {
+	x := 2
+	if c {
+		x = 1
+		return x
+	}
+	return x + 1
+}
+`)
+	// The then-arm ends in return, so its x=1 must not pollute the
+	// straight-line join: the second return sees x still even.
+	expectReturns(t, rets, "f", pOdd, pOdd)
+}
+
+func TestTerminatedSwitchClauseExcluded(t *testing.T) {
+	rets := analyze(t, `package p
+
+func f(n int) int {
+	x := 2
+	switch n {
+	case 1:
+		x = 3
+		return x
+	case 2:
+		x = 4
+	}
+	return x + 1
+}
+`)
+	// case 1 returns; the merge joins only the pre-state (2) and
+	// case 2 (4), both even.
+	expectReturns(t, rets, "f", pOdd, pOdd)
+}
+
+func TestPanicArmExcludedFromJoin(t *testing.T) {
+	rets := analyze(t, `package p
+
+func f(c bool) int {
+	x := 2
+	if c {
+		x = 1
+		panic("no")
+	}
+	return x + 1
+}
+`)
+	expectReturns(t, rets, "f", pOdd)
+}
+
+func TestFuncLitInCallPosition(t *testing.T) {
+	rets := analyze(t, `package p
+
+func f() int {
+	x := 2
+	v := func() int { return x + 1 }()
+	go func() { _ = x + 3 }()
+	defer func() int { return x + 5 }()
+	return v
+}
+`)
+	// All three literal bodies — immediately invoked, go'd, defer'd —
+	// are analyzed against the enclosing bindings: x+1 and x+5 are odd.
+	// (The go'd literal's statement is not a return, so only two records.)
+	expectReturns(t, rets, "lit", pOdd, pOdd)
+}
+
+func TestIncDecStoresConservatively(t *testing.T) {
+	rets := analyze(t, `package p
+
+func f() int {
+	x := 1
+	x++
+	return x
+}
+`)
+	// The engine cannot track the ±1, so x degrades to unknown rather
+	// than keeping the stale pre-increment parity.
+	expectReturns(t, rets, "f", pTop)
+}
+
 func TestOpAssignOnDeref(t *testing.T) {
 	// Stores through non-identifier lvalues must not panic and must
 	// still evaluate their sub-expressions.
@@ -371,4 +454,227 @@ func f(xs []int, o int) int {
 }
 `)
 	expectReturns(t, rets, "f", pEven)
+}
+
+// The second test domain exercises the Stateful extension with the
+// simplest possible lockset: a held-lock counter. lock()/unlock() bump
+// it via CallState, probe() records the state at its call site, and a
+// join of differing counts goes to the conflict marker 99. defer'd
+// unlocks are recorded but (like guarded's deferred releases) leave the
+// count held; go'd calls must not transfer at all.
+const lockConflict = 99
+
+type lockSem struct {
+	info   *types.Info
+	probes []int
+	defers []string
+	exits  map[string][]int
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func (s *lockSem) Bottom() int { return 0 }
+func (s *lockSem) Join(a, b int) int {
+	if a == b {
+		return a
+	}
+	return lockConflict
+}
+func (s *lockSem) Atom(e ast.Expr) int                                      { return 0 }
+func (s *lockSem) Unary(e *ast.UnaryExpr, x int) int                        { return 0 }
+func (s *lockSem) Binary(e *ast.BinaryExpr, x, y int) int                   { return 0 }
+func (s *lockSem) OpAssign(e *ast.AssignStmt, op token.Token, l, r int) int { return 0 }
+func (s *lockSem) Index(e *ast.IndexExpr, x int) int                        { return 0 }
+func (s *lockSem) Call(e *ast.CallExpr, eval dataflow.Eval[int]) int {
+	for _, a := range e.Args {
+		eval(a)
+	}
+	return 0
+}
+func (s *lockSem) Result(call *ast.CallExpr, i int) int { return 0 }
+func (s *lockSem) Bind(lhs ast.Expr, obj types.Object, rhs ast.Expr, v int) int {
+	return v
+}
+func (s *lockSem) Range(rs *ast.RangeStmt, x int) (int, int)                    { return 0, 0 }
+func (s *lockSem) Composite(lit *ast.CompositeLit, kv *ast.KeyValueExpr, v int) {}
+func (s *lockSem) Enter(fn ast.Node, ft *ast.FuncType, env *dataflow.Env[int])  {}
+func (s *lockSem) Return(fn ast.Node, ret *ast.ReturnStmt, vals []int)          {}
+
+func (s *lockSem) CallState(call *ast.CallExpr, state int) int {
+	switch calleeName(call) {
+	case "lock":
+		return state + 1
+	case "unlock":
+		return state - 1
+	case "probe":
+		s.probes = append(s.probes, state)
+	}
+	return state
+}
+
+func (s *lockSem) DeferState(call *ast.CallExpr, state int) int {
+	s.defers = append(s.defers, calleeName(call))
+	return state
+}
+
+func (s *lockSem) ReturnState(fn ast.Node, ret *ast.ReturnStmt, state int) {
+	s.recordExit(fn, state)
+}
+
+func (s *lockSem) ExitState(fn ast.Node, state int) {
+	s.recordExit(fn, state)
+}
+
+func (s *lockSem) recordExit(fn ast.Node, state int) {
+	name := "lit"
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		name = fd.Name.Name
+	}
+	s.exits[name] = append(s.exits[name], state)
+}
+
+func analyzeLocks(t *testing.T, src string) *lockSem {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, info, err := lintkit.Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	sem := &lockSem{info: info, exits: map[string][]int{}}
+	in := &dataflow.Interp[int]{Info: info, Sem: sem}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			in.Func(fd)
+		}
+	}
+	return sem
+}
+
+const lockHelpers = `package p
+
+func lock()   {}
+func unlock() {}
+func probe()  {}
+`
+
+func TestStatefulTerminatedArmKeepsLock(t *testing.T) {
+	sem := analyzeLocks(t, lockHelpers+`
+func f(c bool) {
+	lock()
+	if c {
+		unlock()
+		return
+	}
+	probe()
+	unlock()
+}
+`)
+	// The early-unlock arm returns, so after the if the lock is still
+	// held — the canonical cache-hit pattern must not degrade to a
+	// conflicted join.
+	if got := sem.probes; len(got) != 1 || got[0] != 1 {
+		t.Errorf("probes = %v, want [1]", got)
+	}
+	if got := sem.exits["f"]; len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Errorf("exits = %v, want [0 0]", got)
+	}
+}
+
+func TestStatefulConflictedJoin(t *testing.T) {
+	sem := analyzeLocks(t, lockHelpers+`
+func f(c bool) {
+	if c {
+		lock()
+	}
+	probe()
+}
+`)
+	// Conditional locking with no terminator: held-on-one-path joins to
+	// the conflict marker.
+	if got := sem.probes; len(got) != 1 || got[0] != lockConflict {
+		t.Errorf("probes = %v, want [%d]", got, lockConflict)
+	}
+}
+
+func TestStatefulDeferDoesNotReleaseEarly(t *testing.T) {
+	sem := analyzeLocks(t, lockHelpers+`
+func f() {
+	lock()
+	defer unlock()
+	probe()
+}
+`)
+	if got := sem.probes; len(got) != 1 || got[0] != 1 {
+		t.Errorf("probes = %v, want [1]", got)
+	}
+	if len(sem.defers) != 1 || sem.defers[0] != "unlock" {
+		t.Errorf("defers = %v, want [unlock]", sem.defers)
+	}
+}
+
+func TestStatefulGoCallDoesNotTransfer(t *testing.T) {
+	sem := analyzeLocks(t, lockHelpers+`
+func f() {
+	go lock()
+	probe()
+}
+`)
+	if got := sem.probes; len(got) != 1 || got[0] != 0 {
+		t.Errorf("probes = %v, want [0]", got)
+	}
+}
+
+func TestStatefulSpawnedLiteralInheritsState(t *testing.T) {
+	sem := analyzeLocks(t, lockHelpers+`
+func f() {
+	lock()
+	go func() {
+		probe()
+	}()
+	probe()
+	unlock()
+}
+`)
+	// The literal's body is analyzed against the spawner's state (the
+	// fork-join-under-lock assumption); the spawner's own path then
+	// continues with the lock still held.
+	if got := sem.probes; len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Errorf("probes = %v, want [1 1]", got)
+	}
+}
+
+func TestStatefulLoopJoin(t *testing.T) {
+	sem := analyzeLocks(t, lockHelpers+`
+func f(n int) {
+	for i := 0; i < n; i++ {
+		lock()
+		probe()
+		unlock()
+	}
+	probe()
+}
+`)
+	// Balanced acquire/release in the body: inside the loop the lock is
+	// held on every pass, after the loop it is not.
+	for _, p := range sem.probes[:len(sem.probes)-1] {
+		if p != 1 {
+			t.Errorf("in-loop probes = %v, want all 1", sem.probes)
+			break
+		}
+	}
+	if last := sem.probes[len(sem.probes)-1]; last != 0 {
+		t.Errorf("post-loop probe = %d, want 0", last)
+	}
 }

@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, type-checked package ready for
@@ -148,16 +150,35 @@ func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Import
 	return pkg, info, nil
 }
 
+// stdExportsCache memoizes StdExports per import-path set for the life
+// of the process. Standard-library export data depends only on the
+// toolchain and build cache, not on the directory go list runs in, so
+// the key omits dir; the fixture harness calls StdExports once per
+// fixture package and would otherwise fork a `go list` subprocess each
+// time for the same handful of std paths.
+var (
+	stdExportsMu    sync.Mutex
+	stdExportsCache = map[string]map[string]string{}
+)
+
 // StdExports resolves export-data files for the given standard-library
 // import paths (and their dependencies) by invoking `go list -export`
-// once. The test harness uses it to type-check fixture packages whose
-// imports are std-only.
+// once per distinct path set per process (results are cached; see
+// stdExportsCache). The test harness uses it to type-check fixture
+// packages whose imports are std-only.
 func StdExports(dir string, paths []string) (map[string]string, error) {
 	if len(paths) == 0 {
 		return map[string]string{}, nil
 	}
 	sorted := append([]string(nil), paths...)
 	sort.Strings(sorted)
+	key := strings.Join(sorted, "\x00")
+	stdExportsMu.Lock()
+	cached, ok := stdExportsCache[key]
+	stdExportsMu.Unlock()
+	if ok {
+		return cached, nil
+	}
 	args := append([]string{
 		"list", "-deps", "-export",
 		"-json=ImportPath,Export,Error", "--",
@@ -186,5 +207,8 @@ func StdExports(dir string, paths []string) (map[string]string, error) {
 			exports[p.ImportPath] = p.Export
 		}
 	}
+	stdExportsMu.Lock()
+	stdExportsCache[key] = exports
+	stdExportsMu.Unlock()
 	return exports, nil
 }

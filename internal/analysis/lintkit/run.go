@@ -7,12 +7,13 @@ import (
 	"strings"
 )
 
-// Finding is one resolved diagnostic: positioned, attributed, and past
-// suppression filtering.
+// Finding is one resolved diagnostic: positioned, attributed, and
+// marked if a reasoned //lint:ignore directive suppressed it.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -28,6 +29,23 @@ func (f Finding) String() string {
 // An ignore directive missing the reason is not honoured — it becomes a
 // finding itself, so silent suppressions cannot accumulate.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	all, err := RunAll(analyzers, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, f := range all {
+		if !f.Suppressed {
+			findings = append(findings, f)
+		}
+	}
+	return findings, nil
+}
+
+// RunAll is Run without the suppression filter: suppressed diagnostics
+// are returned too, marked, so tooling (mheta-lint -json) can audit
+// what the ignore directives are hiding.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		fs, err := runPackage(analyzers, pkg)
@@ -66,6 +84,17 @@ func runPackage(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
 				Message:  fmt.Sprintf("//lint:%s directive needs a reason explaining why it is safe", d.Name),
 			})
 		}
+		if d.Kind == "mheta" && !mhetaDirectives[d.Name] {
+			// A typo'd annotation would otherwise silently protect
+			// nothing; the name check lives here so every analyzer's
+			// directives are validated even when that analyzer is not
+			// in the run.
+			findings = append(findings, Finding{
+				Analyzer: "lintkit",
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  fmt.Sprintf("unknown //mheta:%s directive (this suite defines //mheta:units, //mheta:guardedby, //mheta:atomic, //mheta:locks)", d.Name),
+			})
+		}
 	}
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -79,16 +108,28 @@ func runPackage(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
 		}
 		pass.Report = func(d Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
-			if suppressed(pkg.Fset, directives, a.Name, pos) {
-				return
-			}
-			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			findings = append(findings, Finding{
+				Analyzer:   a.Name,
+				Pos:        pos,
+				Message:    d.Message,
+				Suppressed: suppressed(pkg.Fset, directives, a.Name, pos),
+			})
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lintkit: analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
 		}
 	}
 	return findings, nil
+}
+
+// mhetaDirectives is the closed set of annotation names the suite
+// defines: units (dimension facts), guardedby/atomic (field
+// concurrency discipline), locks (function locking contracts).
+var mhetaDirectives = map[string]bool{
+	"units":     true,
+	"guardedby": true,
+	"atomic":    true,
+	"locks":     true,
 }
 
 // missingReason reports whether an ignore-style directive lacks its

@@ -94,8 +94,10 @@ func TestAllStableOrder(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	// The units analyzer must be part of the shipped suite.
-	if !seen["units"] {
-		t.Fatalf("All() = %v, missing units", names)
+	// The shipped suite must contain its core analyzers.
+	for _, want := range []string{"units", "guarded"} {
+		if !seen[want] {
+			t.Fatalf("All() = %v, missing %s", names, want)
+		}
 	}
 }

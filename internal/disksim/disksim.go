@@ -109,8 +109,11 @@ type Disk struct {
 	// slower). 1 for a private commodity disk.
 	contention float64 //mheta:units ratio
 
+	// mu guards only the extent store: timing state below it is owned by
+	// the rank goroutine, but verification code (tests, the experiment
+	// harness) inspects extents while other ranks may still be writing.
 	mu    sync.Mutex
-	store map[string][]byte
+	store map[string][]byte //mheta:guardedby mu
 
 	busyUntil vclock.Time
 	pending   map[int]*pendingRead

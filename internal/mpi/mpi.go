@@ -107,7 +107,7 @@ type message struct {
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	msgs []message
+	msgs []message //mheta:guardedby mu
 }
 
 func newMailbox() *mailbox {
@@ -149,7 +149,7 @@ type World struct {
 	// applications' patterns (chains, binomial trees) touch O(n·log n)
 	// pairs, so eager n² allocation would dominate memory at 10k+ ranks.
 	boxMu sync.Mutex
-	boxes map[uint64]*mailbox
+	boxes map[uint64]*mailbox //mheta:guardedby boxMu
 	// sched, when bound, replaces goroutine mailbox delivery with the
 	// discrete-event scheduler (see BindScheduler).
 	sched *sched.Scheduler

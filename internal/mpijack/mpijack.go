@@ -166,14 +166,20 @@ type CommRecord struct {
 // Recorder collects one rank's instrumented-iteration measurements. It is
 // a plain data sink; the instrument package turns recorders from all
 // ranks into core.Params.
+// The maps are mutex-guarded because hooks from concurrently running
+// collectives can land on one recorder; the guardedby contract is
+// enforced in this package only — the instrument package reads the
+// exported maps after the run, single-goroutine, outside any lock
+// (deliberately not mirrored in guarded's ExternalFields).
 type Recorder struct {
 	mu   sync.Mutex
 	Rank int
-	IO   map[IOKey]*IORecord
-	Comm map[[2]int]*CommRecord // key: {section, tile}
+	IO   map[IOKey]*IORecord //mheta:guardedby mu
+	// Comm is keyed by {section, tile}.
+	Comm map[[2]int]*CommRecord //mheta:guardedby mu
 	// StageSpans holds EnterStage..LeaveStage durations keyed by
 	// {section, tile, stage}; compute time = span − stage I/O (§4.1.1).
-	StageSpans map[[3]int]vclock.Duration
+	StageSpans map[[3]int]vclock.Duration //mheta:guardedby mu
 }
 
 // NewRecorder returns an empty recorder for the given rank.

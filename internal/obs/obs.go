@@ -39,10 +39,10 @@ import (
 // instruments whose methods no-op.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	series   map[string]*Series
+	counters map[string]*Counter   //mheta:guardedby mu
+	gauges   map[string]*Gauge     //mheta:guardedby mu
+	hists    map[string]*Histogram //mheta:guardedby mu
+	series   map[string]*Series    //mheta:guardedby mu
 }
 
 // New returns an empty, enabled registry.
@@ -124,7 +124,7 @@ func (r *Registry) Series(name string) *Series {
 // Counter is a monotonically increasing count. The zero value is ready;
 // a nil *Counter no-ops.
 type Counter struct {
-	v atomic.Int64
+	v atomic.Int64 //mheta:atomic
 }
 
 // Add increments the counter by n.
@@ -149,7 +149,7 @@ func (c *Counter) Value() int64 {
 // Gauge is a last-value-wins float64. The zero value is ready; a nil
 // *Gauge no-ops.
 type Gauge struct {
-	bits atomic.Uint64
+	bits atomic.Uint64 //mheta:atomic
 }
 
 // Set records the gauge's current value.
@@ -240,7 +240,7 @@ func (h *Histogram) BucketCounts() []int64 {
 // practice (the hot paths add from one goroutine per instrument), but
 // safe under contention.
 type atomicFloat struct {
-	bits atomic.Uint64
+	bits atomic.Uint64 //mheta:atomic
 }
 
 func (f *atomicFloat) add(x float64) {
@@ -265,7 +265,7 @@ type Sample struct {
 // generation, per annealing step. A nil *Series no-ops.
 type Series struct {
 	mu      sync.Mutex
-	samples []Sample
+	samples []Sample //mheta:guardedby mu
 }
 
 // Append records one sample.

@@ -17,6 +17,12 @@ import (
 // concurrent Memo pays for its thread safety. The inner evaluator may
 // still be a *Pool: the fresh batch is forwarded whole, so batch
 // concurrency is unchanged.
+//
+// lightMemo carries no //mheta:guardedby or //mheta:atomic annotations
+// deliberately: every field is owned by the single searcher goroutine
+// that created it (GBS never shares its memo), so there is no locking
+// contract for the guarded analyzer to enforce — single ownership, not
+// synchronisation, is the safety argument here.
 type lightMemo struct {
 	single Evaluator
 	batch  BatchEvaluator     // non-nil when single supports batching

@@ -50,9 +50,12 @@ type CloneableEvaluator interface {
 // never across calls.
 type Pool struct {
 	// mu serialises calls: each call needs exclusive use of the worker
-	// evaluator set.
+	// evaluator set, because the workers are typically single-goroutine
+	// model clones (DESIGN.md §5.12 — the PR 6 race was exactly two
+	// overlapping Memo batches driving these clones concurrently). The
+	// guardedby annotation makes mheta-lint enforce that invariant.
 	mu  sync.Mutex
-	evs []Evaluator
+	evs []Evaluator //mheta:guardedby mu
 
 	// Observability (nil when unobserved; see Observe). Worker
 	// "utilization" is the per-worker share of batch evaluations — a pure
@@ -90,6 +93,8 @@ func (p *Pool) Observe(r *obs.Registry) {
 	if r == nil {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.obsBatches = r.Counter("search.pool.batches")
 	p.obsEvals = r.Counter("search.pool.evaluations")
 	p.obsWorker = make([]*obs.Counter, len(p.evs))
@@ -99,7 +104,11 @@ func (p *Pool) Observe(r *obs.Registry) {
 }
 
 // Workers reports the worker count.
-func (p *Pool) Workers() int { return len(p.evs) }
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.evs)
+}
 
 // Evaluate implements Evaluator on worker 0.
 func (p *Pool) Evaluate(d dist.Distribution) float64 {
@@ -224,20 +233,20 @@ func strideLen(n, start, stride int) int {
 // protocol, so no caller convoys behind an unrelated batch.
 type Memo struct {
 	mu      sync.RWMutex
-	table   map[uint64]float64
-	pending map[uint64]*memoPending
+	table   map[uint64]float64      //mheta:guardedby mu
+	pending map[uint64]*memoPending //mheta:guardedby mu
 	single  Evaluator
 	batch   BatchEvaluator     // non-nil when single supports batching
 	base    BaseEvaluator      // non-nil when single is base-aware
 	baseB   BaseBatchEvaluator // non-nil when single supports base-aware batching
-	misses  atomic.Int64
+	misses  atomic.Int64       //mheta:atomic
 
 	// limit, when positive, bounds the table: the epoch after a publish
 	// grows past limit entries, the whole table is cleared (deterministic
 	// for a deterministic batch sequence — eviction depends only on
 	// insertion history, never on goroutine timing).
-	limit     int
-	evictions atomic.Int64
+	limit     int          //mheta:guardedby mu
+	evictions atomic.Int64 //mheta:atomic
 
 	// Observability (nil when unobserved; see Observe).
 	obsHits, obsMisses, obsEvict *obs.Counter
@@ -249,10 +258,13 @@ type Memo struct {
 	// plain free list, not a sync.Pool: the GC empties a sync.Pool at
 	// arbitrary times, which would break the zero-allocation warm path.
 	scratchMu   sync.Mutex
-	scratchFree []*memoScratch
+	scratchFree []*memoScratch //mheta:guardedby scratchMu
 }
 
-// memoScratch is one batch call's working set.
+// memoScratch is one batch call's working set. Owned by exactly one
+// batch call at a time (checked out of scratchFree under scratchMu), so
+// its fields carry no //mheta:guardedby annotations: ownership, not a
+// lock, is what makes them safe.
 type memoScratch struct {
 	freshD   []dist.Distribution
 	freshH   []uint64
@@ -618,7 +630,7 @@ type counter struct {
 	batch  BatchEvaluator     // non-nil when single supports batching
 	baseE  BaseEvaluator      // non-nil when single is base-aware
 	baseB  BaseBatchEvaluator // non-nil when single supports base-aware batching
-	n      atomic.Int64
+	n      atomic.Int64       //mheta:atomic
 }
 
 func newCounter(ev Evaluator) *counter {

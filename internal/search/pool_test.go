@@ -1,12 +1,14 @@
 package search
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"mheta/internal/cluster"
 	"mheta/internal/core"
 	"mheta/internal/dist"
+	"mheta/internal/obs"
 	"mheta/internal/program"
 )
 
@@ -204,4 +206,42 @@ func TestAnnealingFanOneMatchesClassicChain(t *testing.T) {
 	if !a1.Best.Equal(a2.Best) || a1.Time != a2.Time || a1.Evaluations != a2.Evaluations {
 		t.Fatalf("Fan default vs Fan 1 differ: %+v vs %+v", a1, a2)
 	}
+}
+
+// TestPoolIntrospectionConcurrentWithBatches pins (under -race) that the
+// pool's introspection and instrumentation entry points — Workers and
+// Observe, which read and write the worker set the //mheta:guardedby
+// annotation binds to mu — are safe to call while batches are in flight.
+// Before the guarded analyzer annotations they read p.evs without the
+// lock; this test makes that regression a -race failure, not tribal
+// memory.
+func TestPoolIntrospectionConcurrentWithBatches(t *testing.T) {
+	ev := EvaluatorFunc(func(d dist.Distribution) float64 { return float64(d[0]) })
+	pool := NewPool(ev, 4)
+	ds := make([]dist.Distribution, 64)
+	for i := range ds {
+		ds[i] = dist.Distribution{i}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				pool.EvaluateBatch(ds)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if w := pool.Workers(); w != 4 {
+				t.Errorf("Workers() = %d, want 4", w)
+				return
+			}
+			pool.Observe(obs.New())
+		}
+	}()
+	wg.Wait()
 }

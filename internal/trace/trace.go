@@ -72,7 +72,7 @@ func (s Span) Duration() vclock.Duration { return vclock.Duration(s.End - s.Star
 // append (ranks run as goroutines).
 type Trace struct {
 	mu    sync.Mutex
-	spans []Span
+	spans []Span //mheta:guardedby mu
 }
 
 // New returns an empty trace.
