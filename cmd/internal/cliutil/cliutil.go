@@ -17,8 +17,11 @@ import (
 	"mheta/internal/obs"
 )
 
-// exit is swapped out by tests.
-var exit = os.Exit
+// exit and fatalf are swapped out by tests.
+var (
+	exit   = os.Exit
+	fatalf = log.Fatalf
+)
 
 // Usagef reports a bad flag value on stderr — prefixed like the binary's
 // other messages via the log prefix the main installed — and exits 2,
@@ -55,8 +58,10 @@ type ObsFlags struct {
 	cpuProfile *string
 	memProfile *string
 
-	reg     *obs.Registry
-	cpuFile *os.File
+	reg         *obs.Registry
+	cpuFile     *os.File
+	memFile     *os.File
+	metricsFile *os.File
 }
 
 // RegisterObsFlags declares -metrics, -cpuprofile and -memprofile on the
@@ -72,18 +77,35 @@ func RegisterObsFlags() *ObsFlags {
 // Start begins profiling and returns the metrics registry — nil unless
 // -metrics was given, so instrumented code paths stay no-ops by default.
 // Call after flag.Parse; pair with a deferred Finish.
+//
+// Every output path is created (or truncated) here, not in Finish: an
+// unwritable -metrics or -memprofile path must abort before the run's
+// compute is spent, not after. The files stay open until Finish fills
+// them, so a crashed run leaves empty artifacts rather than stale ones.
 func (f *ObsFlags) Start() *obs.Registry {
 	if *f.cpuProfile != "" {
 		file, err := os.Create(*f.cpuProfile)
 		if err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			fatalf("-cpuprofile: %v", err)
 		}
 		if err := pprof.StartCPUProfile(file); err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			fatalf("-cpuprofile: %v", err)
 		}
 		f.cpuFile = file
 	}
+	if *f.memProfile != "" {
+		file, err := os.Create(*f.memProfile)
+		if err != nil {
+			fatalf("-memprofile: %v", err)
+		}
+		f.memFile = file
+	}
 	if *f.metrics != "" {
+		file, err := os.Create(*f.metrics)
+		if err != nil {
+			fatalf("-metrics: %v", err)
+		}
+		f.metricsFile = file
 		f.reg = obs.New()
 	}
 	return f.reg
@@ -100,30 +122,24 @@ func (f *ObsFlags) Finish() {
 		}
 		f.cpuFile = nil
 	}
-	if *f.memProfile != "" {
-		file, err := os.Create(*f.memProfile)
-		if err != nil {
-			log.Fatalf("-memprofile: %v", err)
-		}
+	if f.memFile != nil {
 		runtime.GC() // up-to-date allocation data, as the pprof docs advise
-		if err := pprof.WriteHeapProfile(file); err != nil {
-			log.Fatalf("-memprofile: %v", err)
+		if err := pprof.WriteHeapProfile(f.memFile); err != nil {
+			fatalf("-memprofile: %v", err)
 		}
-		if err := file.Close(); err != nil {
-			log.Fatalf("-memprofile: %v", err)
+		if err := f.memFile.Close(); err != nil {
+			fatalf("-memprofile: %v", err)
 		}
+		f.memFile = nil
 	}
 	if f.reg != nil {
-		file, err := os.Create(*f.metrics)
-		if err != nil {
-			log.Fatalf("-metrics: %v", err)
+		if err := f.reg.WriteJSON(f.metricsFile); err != nil {
+			fatalf("-metrics: %v", err)
 		}
-		if err := f.reg.WriteJSON(file); err != nil {
-			log.Fatalf("-metrics: %v", err)
+		if err := f.metricsFile.Close(); err != nil {
+			fatalf("-metrics: %v", err)
 		}
-		if err := file.Close(); err != nil {
-			log.Fatalf("-metrics: %v", err)
-		}
+		f.metricsFile = nil
 		if s := f.reg.Summary(); s != "" {
 			fmt.Fprint(os.Stderr, s)
 		}

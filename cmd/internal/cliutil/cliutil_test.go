@@ -1,0 +1,98 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubFatal swaps fatalf for one that records the message and unwinds via
+// panic (log.Fatalf never returns, so the stub must not either); the
+// returned function restores the original and reports what was recorded.
+func stubFatal(t *testing.T) func() string {
+	t.Helper()
+	var got string
+	orig := fatalf
+	fatalf = func(format string, args ...any) {
+		got = format
+		for _, a := range args {
+			if err, ok := a.(error); ok {
+				got += ": " + err.Error()
+			}
+		}
+		panic("cliutil test: fatalf")
+	}
+	t.Cleanup(func() { fatalf = orig })
+	return func() string { return got }
+}
+
+func obsFlagsFor(metrics, memprofile string) *ObsFlags {
+	empty := ""
+	m, p := metrics, memprofile
+	return &ObsFlags{metrics: &m, cpuProfile: &empty, memProfile: &p}
+}
+
+// TestStartFailsFastOnUnwritableMetrics pins the fail-fast contract: an
+// unwritable -metrics path must abort in Start, before any compute, not
+// in Finish after the run is spent.
+func TestStartFailsFastOnUnwritableMetrics(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "m.json")
+	f := obsFlagsFor(bad, "")
+	recorded := stubFatal(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Start returned despite unwritable -metrics path")
+			}
+		}()
+		f.Start()
+	}()
+	if !strings.Contains(recorded(), "-metrics") {
+		t.Errorf("fatal message %q does not name -metrics", recorded())
+	}
+}
+
+// TestStartFailsFastOnUnwritableMemprofile is the same contract for
+// -memprofile, which used to surface only at exit.
+func TestStartFailsFastOnUnwritableMemprofile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof")
+	f := obsFlagsFor("", bad)
+	recorded := stubFatal(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Start returned despite unwritable -memprofile path")
+			}
+		}()
+		f.Start()
+	}()
+	if !strings.Contains(recorded(), "-memprofile") {
+		t.Errorf("fatal message %q does not name -memprofile", recorded())
+	}
+}
+
+// TestStartCreatesOutputsUpFront checks the happy path: Start truncates
+// the output files immediately (so permissions are proven), and Finish
+// fills the metrics file with the registry JSON.
+func TestStartCreatesOutputsUpFront(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	f := obsFlagsFor(metrics, "")
+	reg := f.Start()
+	if reg == nil {
+		t.Fatal("Start returned a nil registry with -metrics set")
+	}
+	if fi, err := os.Stat(metrics); err != nil || fi.Size() != 0 {
+		t.Fatalf("metrics file not created empty up front: fi=%v err=%v", fi, err)
+	}
+	reg.Counter("test.count").Inc()
+	f.Finish()
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "test.count") {
+		t.Fatalf("metrics JSON missing counter:\n%s", data)
+	}
+}

@@ -105,7 +105,7 @@ func TestCompareGating(t *testing.T) {
 		"BenchmarkDeltaEvaluate": {NsPerOp: 50},                                               // new
 	}
 	gate := regexp.MustCompile("^BenchmarkSearch")
-	rep := compare(base, cur, gate, 1.5)
+	rep := compare(base, cur, gate, 1.5, nil)
 	if rep.Regressions != 2 {
 		t.Fatalf("regressions = %d, want 2\n%+v", rep.Regressions, rep.Rows)
 	}
@@ -131,5 +131,103 @@ func TestCompareGating(t *testing.T) {
 		if r.Name == "BenchmarkSearchGBS" && !strings.Contains(r.MetricNotes, "cands/s") {
 			t.Errorf("missing cands/s note: %+v", r)
 		}
+	}
+}
+
+// TestCompareAllocSlack pins the alloc-gate tolerance: exact at small
+// counts (2→3 allocs is a regression) but absorbing per-run noise of a
+// few allocations once the count is ~10^6, where runtime-internal
+// allocations leak into the per-op average.
+func TestCompareAllocSlack(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkSearchSmall": {NsPerOp: 1000, AllocsPerOp: 2},
+		"BenchmarkSearchBig":   {NsPerOp: 1000, AllocsPerOp: 1_000_000},
+	}}
+	cur := map[string]Result{
+		"BenchmarkSearchSmall": {NsPerOp: 1000, AllocsPerOp: 3},
+		"BenchmarkSearchBig":   {NsPerOp: 1000, AllocsPerOp: 1_000_005},
+	}
+	gate := regexp.MustCompile("^BenchmarkSearch")
+	rep := compare(base, cur, gate, 1.5, nil)
+	status := make(map[string]string)
+	for _, r := range rep.Rows {
+		status[r.Name] = r.Status
+	}
+	if status["BenchmarkSearchSmall"] != "regression" {
+		t.Errorf("2→3 allocs: status %q, want regression", status["BenchmarkSearchSmall"])
+	}
+	if status["BenchmarkSearchBig"] != "ok" {
+		t.Errorf("1e6→1e6+5 allocs: status %q, want ok (within slack)", status["BenchmarkSearchBig"])
+	}
+	if rep.Regressions != 1 {
+		t.Errorf("regressions = %d, want 1", rep.Regressions)
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	floors, err := parseFloors("BenchmarkServePredict:req/s:1000, BenchmarkX:evals:5.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := floors["BenchmarkServePredict"]["req/s"]; got != 1000 {
+		t.Errorf("req/s floor = %v, want 1000", got)
+	}
+	if got := floors["BenchmarkX"]["evals"]; got != 5.5 {
+		t.Errorf("evals floor = %v, want 5.5", got)
+	}
+	if f, err := parseFloors(""); err != nil || len(f) != 0 {
+		t.Errorf("empty spec: floors=%v err=%v, want none", f, err)
+	}
+	for _, bad := range []string{"nope", "a:b", "a:b:NaNope", ":m:1", "a::1"} {
+		if _, err := parseFloors(bad); err == nil {
+			t.Errorf("parseFloors(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestCompareMetricFloor pins the -min-metric gate: a floored benchmark
+// fails when the metric is below the bar or absent, passes at or above
+// it, and the floor binds even for benchmarks new to the baseline.
+func TestCompareMetricFloor(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkServePredict": {NsPerOp: 1000, Metrics: map[string]float64{"req/s": 2000}},
+		"BenchmarkNoMetric":     {NsPerOp: 1000},
+	}}
+	cur := map[string]Result{
+		"BenchmarkServePredict": {NsPerOp: 1100, Metrics: map[string]float64{"req/s": 750}},
+		"BenchmarkNoMetric":     {NsPerOp: 1000},
+		"BenchmarkFresh":        {NsPerOp: 10, Metrics: map[string]float64{"req/s": 1}},
+	}
+	floors := map[string]map[string]float64{
+		"BenchmarkServePredict": {"req/s": 1000},
+		"BenchmarkNoMetric":     {"req/s": 1},
+		"BenchmarkFresh":        {"req/s": 100},
+	}
+	rep := compare(base, cur, regexp.MustCompile("^$"), 1.5, floors)
+	if rep.Regressions != 3 {
+		t.Fatalf("regressions = %d, want 3\n%+v", rep.Regressions, rep.Rows)
+	}
+	notes := make(map[string]string)
+	for _, r := range rep.Rows {
+		if r.Status == "regression" {
+			notes[r.Name] = r.MetricNotes
+		}
+	}
+	if !strings.Contains(notes["BenchmarkServePredict"], "below floor") {
+		t.Errorf("ServePredict note %q does not explain the floor", notes["BenchmarkServePredict"])
+	}
+	if !strings.Contains(notes["BenchmarkNoMetric"], "missing") {
+		t.Errorf("NoMetric note %q does not flag the absent metric", notes["BenchmarkNoMetric"])
+	}
+	if _, failed := notes["BenchmarkFresh"]; !failed {
+		t.Error("new-to-baseline benchmark escaped its floor")
+	}
+
+	// At the bar exactly: passes.
+	cur["BenchmarkServePredict"] = Result{NsPerOp: 1100, Metrics: map[string]float64{"req/s": 1000}}
+	cur["BenchmarkNoMetric"] = Result{NsPerOp: 1000, Metrics: map[string]float64{"req/s": 1}}
+	cur["BenchmarkFresh"] = Result{NsPerOp: 10, Metrics: map[string]float64{"req/s": 100}}
+	if rep := compare(base, cur, regexp.MustCompile("^$"), 1.5, floors); rep.Regressions != 0 {
+		t.Fatalf("at-floor run: regressions = %d, want 0\n%+v", rep.Regressions, rep.Rows)
 	}
 }

@@ -58,6 +58,7 @@ func TestHelp(t *testing.T) {
 		"mheta-experiments": "-which",
 		"mheta-lint":        "maporder",
 		"mheta-bench":       "-baseline",
+		"mheta-serve":       "-addr",
 	} {
 		out, err := exec.Command(filepath.Join(binDir, bin), "-h").CombinedOutput()
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -150,9 +151,14 @@ func (r *Registry) Summary() string {
 	return b.String()
 }
 
+// lastBound is the highest finite bucket bound, or -Inf for a histogram
+// created with no bounds at all — there the single bucket counts every
+// observation, and "> -inf" says so, where the old 0 sentinel misread as
+// "observations above zero" (wrong for a count-only histogram holding
+// negative or zero samples).
 func lastBound(bounds []float64) float64 {
 	if len(bounds) == 0 {
-		return 0
+		return math.Inf(-1)
 	}
 	return bounds[len(bounds)-1]
 }
@@ -181,16 +187,29 @@ func (r *Registry) WriteSeriesJSONL(w io.Writer) error {
 
 // WriteSeriesCSV writes every series as CSV with a header row
 // (series,step,value), series in name order, samples in append order.
+// Series names are quoted per RFC 4180 when they contain a comma, quote
+// or line break; steps and values never need quoting.
 func (r *Registry) WriteSeriesCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "series,step,value"); err != nil {
 		return err
 	}
 	for _, sr := range r.Snapshot().Series {
+		name := csvField(sr.Name)
 		for _, p := range sr.Samples {
-			if _, err := fmt.Fprintf(w, "%s,%d,%.17g\n", sr.Name, p.Step, p.Value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.17g\n", name, p.Step, p.Value); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// csvField quotes s per RFC 4180 when it contains a delimiter, a quote or
+// a line break; plain names pass through unchanged so existing output is
+// byte-identical.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

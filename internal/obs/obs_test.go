@@ -213,6 +213,62 @@ func TestSeriesExports(t *testing.T) {
 	}
 }
 
+// TestSeriesCSVQuoting pins the RFC 4180 escaping: a series name carrying
+// a comma, a quote or a newline must arrive quoted (quotes doubled), so a
+// hostile name can no longer smuggle extra CSV columns or rows.
+func TestSeriesCSVQuoting(t *testing.T) {
+	r := New()
+	r.Series(`evil,name"with"quotes`).Append(0, 1)
+	r.Series("line\nbreak").Append(2, 3)
+	r.Series("plain").Append(1, 2)
+
+	var csv bytes.Buffer
+	if err := r.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,step,value\n" +
+		"\"evil,name\"\"with\"\"quotes\",0,1\n" +
+		"\"line\nbreak\",2,3\n" +
+		"plain,1,2\n"
+	if csv.String() != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", csv.String(), want)
+	}
+}
+
+// TestSummaryHistogramOverflow pins the overflow-bucket rendering: a
+// zero-bounds (count-only) histogram labels its single bucket "> -inf"
+// rather than the misleading "> 0" the old zero sentinel produced, and a
+// bounded histogram whose observations all overflow still names its real
+// last bound.
+func TestSummaryHistogramOverflow(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+		want    string
+		reject  string
+	}{
+		{"empty-bounds", nil, []float64{-3, 0, 7}, ">  -Inf", ">  0"},
+		{"all-overflow", []float64{1, 10}, []float64{50, 99}, ">  10", ">  0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New()
+			h := r.Histogram("h", tc.bounds)
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			out := r.Summary()
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("summary missing %q:\n%s", tc.want, out)
+			}
+			if strings.Contains(out, tc.reject) {
+				t.Errorf("summary still renders %q:\n%s", tc.reject, out)
+			}
+		})
+	}
+}
+
 func TestSummary(t *testing.T) {
 	r := New()
 	r.Counter("search.memo.hits").Add(42)

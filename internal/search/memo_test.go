@@ -221,6 +221,35 @@ func TestMemoEvictionLimit(t *testing.T) {
 	}
 }
 
+// TestMemoSetLimitShrinkEvictsNow pins the immediate-bound semantics:
+// shrinking the limit below the current table size evicts at the SetLimit
+// call itself, not at the next publish. An already-warm table that stops
+// publishing (a server's shared memo between request bursts) used to stay
+// oversized indefinitely.
+func TestMemoSetLimitShrinkEvictsNow(t *testing.T) {
+	m := NewMemo(EvaluatorFunc(func(d dist.Distribution) float64 { return float64(d.Total()) }))
+	for i := 1; i <= 8; i++ {
+		m.Evaluate(dist.Distribution{i, i})
+	}
+	if m.Len() != 8 {
+		t.Fatalf("len %d after 8 distinct keys, want 8", m.Len())
+	}
+	m.SetLimit(3)
+	if m.Len() != 0 {
+		t.Fatalf("len %d immediately after shrinking limit to 3, want 0 (epoch clear)", m.Len())
+	}
+	if m.Evictions() != 8 {
+		t.Fatalf("evictions %d, want 8", m.Evictions())
+	}
+	// Growing (or keeping) the limit above the table size evicts nothing.
+	m.Evaluate(dist.Distribution{1, 1})
+	m.Evaluate(dist.Distribution{2, 2})
+	m.SetLimit(5)
+	if m.Len() != 2 || m.Evictions() != 8 {
+		t.Fatalf("len %d evictions %d after widening limit, want 2 and 8", m.Len(), m.Evictions())
+	}
+}
+
 // TestMemoObserveCounters checks hit/miss accounting on both paths.
 func TestMemoObserveCounters(t *testing.T) {
 	m := NewMemo(EvaluatorFunc(func(d dist.Distribution) float64 { return float64(d.Total()) }))

@@ -380,9 +380,17 @@ func (m *Memo) Observe(r *obs.Registry) {
 // of the insertion sequence alone. Evicted keys re-count as misses if
 // re-evaluated, so set a limit only when memory matters more than a
 // stable Evaluations figure.
+//
+// The bound applies immediately: shrinking the limit below the current
+// table size evicts now rather than at the next publish, so a
+// long-running shared memo (the server's cross-request table) releases
+// memory the moment an operator tightens the limit — an already-warm
+// table that never publishes again would otherwise stay oversized
+// indefinitely.
 func (m *Memo) SetLimit(n int) {
 	m.mu.Lock()
 	m.limit = n
+	m.maybeEvictLocked()
 	m.mu.Unlock()
 }
 

@@ -18,6 +18,7 @@
 package mheta
 
 import (
+	"context"
 	"fmt"
 
 	"mheta/internal/apps"
@@ -184,11 +185,18 @@ type SearchOptions struct {
 	// pool utilization counters and the per-algorithm convergence series
 	// ("search.<alg>.best").
 	Metrics *Metrics
+	// Context, when non-nil, bounds the search: once it is done the
+	// search aborts at the next evaluation batch and SearchWithOptions
+	// returns the context's error (context.Canceled or DeadlineExceeded).
+	// A search that completes before the deadline is bit-identical to an
+	// unbounded one — the deadline affects whether a result is produced,
+	// never which result.
+	Context context.Context
 }
 
 // SearchWithOptions runs the named algorithm ("gbs", "genetic",
-// "annealing", "random") with the given evaluation-pool size and
-// optional metrics registry.
+// "annealing", "random") with the given evaluation-pool size, optional
+// metrics registry and optional cancellation context.
 func SearchWithOptions(alg string, spec ClusterSpec, app *App, model *Model, seed uint64, opts SearchOptions) (SearchResult, error) {
 	// The delta evaluator replays cached per-width busy terms, scoring
 	// bit-identically to ModelEvaluator but several times faster on the
@@ -203,24 +211,22 @@ func SearchWithOptions(alg string, spec ClusterSpec, app *App, model *Model, see
 		ev = pool
 	}
 	total := app.Prog.GlobalElems()
+	var s search.Searcher
 	switch alg {
 	case AlgGBS:
 		var bpe int64
 		for _, v := range app.Prog.DistributedVars() {
 			bpe += v.ElemBytes
 		}
-		s := &search.GBS{Spec: spec, BytesPerElem: bpe, Obs: opts.Metrics}
-		return s.Search(ev, total), nil
+		s = &search.GBS{Spec: spec, BytesPerElem: bpe, Obs: opts.Metrics}
 	case AlgGenetic:
-		s := &search.Genetic{N: spec.N(), Seed: seed, Obs: opts.Metrics}
-		return s.Search(ev, total), nil
+		s = &search.Genetic{N: spec.N(), Seed: seed, Obs: opts.Metrics}
 	case AlgAnnealing:
-		s := &search.Annealing{N: spec.N(), Seed: seed, Obs: opts.Metrics}
-		return s.Search(ev, total), nil
+		s = &search.Annealing{N: spec.N(), Seed: seed, Obs: opts.Metrics}
 	case AlgRandom:
-		s := &search.Random{N: spec.N(), Seed: seed, Obs: opts.Metrics}
-		return s.Search(ev, total), nil
+		s = &search.Random{N: spec.N(), Seed: seed, Obs: opts.Metrics}
 	default:
 		return SearchResult{}, fmt.Errorf("mheta: unknown search algorithm %q", alg)
 	}
+	return search.SearchContext(opts.Context, s, ev, total)
 }
