@@ -9,6 +9,9 @@
 //	units           dimensional consistency of the model's equations
 //	guarded         //mheta:guardedby, //mheta:atomic and //mheta:locks
 //	                discipline via lockset dataflow + lock ordering
+//	leakcheck       goroutine termination paths, channel-send
+//	                discipline, and context propagation in the
+//	                serving stack
 //
 // It runs standalone over package patterns:
 //
@@ -21,7 +24,12 @@
 // With -json, findings (including suppressed ones, marked) are emitted
 // as a JSON array on stdout instead of the text lines.
 //
-// Exit status: 0 clean, 2 findings, 1 operational error.
+// Packages are analyzed by a bounded worker pool (-parallel, default
+// GOMAXPROCS); output order is byte-identical for every worker count.
+// The total wall-time is reported on stderr.
+//
+// Exit status: 0 clean, 2 findings, 1 operational error — in both text
+// and JSON modes.
 package main
 
 import (
@@ -30,7 +38,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"mheta/internal/analysis"
 	"mheta/internal/analysis/lintkit"
@@ -57,8 +67,10 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("mheta-lint", flag.ContinueOnError)
 	which := fs.Bool("which", false, "list registered analyzers (stable order) and exit")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (includes suppressed findings, marked)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "package-analysis workers (output is identical for any value)")
+	dir := fs.String("C", ".", "directory to load packages from (findings print relative to it)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: mheta-lint [-which] [-json] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: mheta-lint [-which] [-json] [-parallel n] [-C dir] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Checks mheta's determinism and clone-safety contracts. Analyzers:\n\n")
 		for _, a := range analysis.All() {
 			summary, _, _ := strings.Cut(a.Doc, "\n")
@@ -92,20 +104,23 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lintkit.Load(".", patterns...)
+	start := time.Now()
+	pkgs, err := lintkit.Load(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	findings, err := lintkit.RunAll(analysis.All(), pkgs)
+	findings, err := lintkit.RunAllN(analysis.All(), pkgs, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	cwd, _ := os.Getwd()
+	fmt.Fprintf(os.Stderr, "mheta-lint: %d package(s), %d analyzer(s), %d worker(s) in %s\n",
+		len(pkgs), len(analysis.All()), *parallel, time.Since(start).Round(time.Millisecond))
+	base, _ := filepath.Abs(*dir)
 	relName := func(name string) string {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		if base != "" {
+			if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
 				return rel
 			}
 		}

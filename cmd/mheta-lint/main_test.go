@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mheta/internal/analysis"
+	"mheta/internal/analysis/lintkit"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cleanModule builds a module no analyzer has findings on.
+func cleanModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpclean\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a", "a.go"), `package a
+
+func Add(x, y int) int { return x + y }
+`)
+	return dir
+}
+
+// dirtyModule builds a module with one leakcheck violation (an
+// unterminated goroutine).
+func dirtyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpdirty\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a", "a.go"), `package a
+
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+`)
+	return dir
+}
+
+// brokenModule builds a module that cannot load (syntax error).
+func brokenModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpbroken\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a", "a.go"), "package a\n\nfunc Broken( {\n")
+	return dir
+}
+
+// quietStdout routes the process stdout to /dev/null for the duration of
+// a subtest, so table runs don't interleave findings into test output.
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = old
+		null.Close()
+	})
+}
+
+// The exit-code contract: 0 clean, 2 findings, 1 operational error —
+// identical in text and JSON modes.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads temp modules with the full toolchain; skipped in -short")
+	}
+	clean := cleanModule(t)
+	dirty := dirtyModule(t)
+	broken := brokenModule(t)
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"which", []string{"-which"}, 0},
+		{"clean-text", []string{"-C", clean, "./..."}, 0},
+		{"clean-json", []string{"-json", "-C", clean, "./..."}, 0},
+		{"findings-text", []string{"-C", dirty, "./..."}, 2},
+		{"findings-json", []string{"-json", "-C", dirty, "./..."}, 2},
+		{"loaderror-text", []string{"-C", broken, "./..."}, 1},
+		{"loaderror-json", []string{"-json", "-C", broken, "./..."}, 1},
+		{"badflag", []string{"-no-such-flag"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			quietStdout(t)
+			if got := run(tc.args); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// Worker count must not leak into output: merged findings are
+// byte-identical across -parallel values and repeated runs.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a temp module with the full toolchain; skipped in -short")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmany\n\ngo 1.22\n")
+	// Several packages with violations, so the pool genuinely interleaves
+	// and every package contributes findings to the merge.
+	for _, p := range []string{"a", "b", "c", "d", "e"} {
+		writeFile(t, filepath.Join(dir, p, p+".go"), fmt.Sprintf(`package %s
+
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+func Deaf(ch chan int) {
+	ch <- 1
+}
+`, p))
+	}
+	pkgs, err := lintkit.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	render := func(fs []lintkit.Finding) string {
+		out := ""
+		for _, f := range fs {
+			out += f.String() + "\n"
+		}
+		return out
+	}
+	var golden string
+	for _, workers := range []int{1, 2, 3, 8} {
+		for rep := 0; rep < 3; rep++ {
+			findings, err := lintkit.RunAllN(analysis.All(), pkgs, workers)
+			if err != nil {
+				t.Fatalf("RunAllN(workers=%d): %v", workers, err)
+			}
+			if len(findings) == 0 {
+				t.Fatal("expected findings from the planted violations")
+			}
+			got := render(findings)
+			if golden == "" {
+				golden = got
+				continue
+			}
+			if got != golden {
+				t.Errorf("workers=%d rep=%d: output differs from golden:\n got:\n%s\n want:\n%s", workers, rep, got, golden)
+			}
+		}
+	}
+}

@@ -110,10 +110,11 @@ func TestSearch(t *testing.T) {
 	}
 }
 
-// writeBadModule lays out a throwaway module containing two deliberate
-// violations — a //lint:deterministic file calling time.Now, and a
-// //mheta:guardedby field read without its lock — the known-bad input
-// the lint smoke tests run against.
+// writeBadModule lays out a throwaway module containing three deliberate
+// violations — a //lint:deterministic file calling time.Now, a
+// //mheta:guardedby field read without its lock, and a leaked ticker
+// goroutine with no stop signal — the known-bad input the lint smoke
+// tests run against.
 func writeBadModule(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -139,6 +140,21 @@ type Box struct {
 
 // Peek reads n without holding mu.
 func (b *Box) Peek() int { return b.n }
+`,
+		"leaky.go": `package badmod
+
+import "time"
+
+// Tick plants a leaked goroutine for the leakcheck analyzer: the ticker
+// loop has no stop signal, so the goroutine never terminates.
+func Tick() {
+	go func() {
+		t := time.NewTicker(time.Second)
+		for {
+			<-t.C
+		}
+	}()
+}
 `,
 	}
 	for name, src := range files {
@@ -179,6 +195,9 @@ func TestLintKnownBad(t *testing.T) {
 	if !strings.Contains(string(out), "guarded") || !strings.Contains(string(out), "requires holding b.mu") {
 		t.Errorf("guardedby finding not reported:\n%s", out)
 	}
+	if !strings.Contains(string(out), "leakcheck") || !strings.Contains(string(out), "goroutine may never terminate") {
+		t.Errorf("leaked-ticker finding not reported:\n%s", out)
+	}
 
 	cmd = exec.Command("go", "vet", "-vettool="+lint, "./...")
 	cmd.Dir = bad
@@ -191,6 +210,9 @@ func TestLintKnownBad(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "requires holding b.mu") {
 		t.Errorf("vettool guardedby finding not reported:\n%s", out)
+	}
+	if !strings.Contains(string(out), "goroutine may never terminate") {
+		t.Errorf("vettool leaked-ticker finding not reported:\n%s", out)
 	}
 }
 
@@ -227,7 +249,7 @@ func TestLintJSON(t *testing.T) {
 		}
 		byAnalyzer[f.Analyzer]++
 	}
-	for _, want := range []string{"nondeterminism", "guarded"} {
+	for _, want := range []string{"nondeterminism", "guarded", "leakcheck"} {
 		if byAnalyzer[want] == 0 {
 			t.Errorf("-json findings missing analyzer %s: %v", want, byAnalyzer)
 		}

@@ -11,6 +11,7 @@ import (
 	"mheta/internal/analysis/clonesafe"
 	"mheta/internal/analysis/floatreduce"
 	"mheta/internal/analysis/guarded"
+	"mheta/internal/analysis/leakcheck"
 	"mheta/internal/analysis/lintkit"
 	"mheta/internal/analysis/maporder"
 	"mheta/internal/analysis/nondeterminism"
@@ -23,6 +24,7 @@ var registry = []*lintkit.Analyzer{
 	clonesafe.Analyzer,
 	floatreduce.Analyzer,
 	guarded.Analyzer,
+	leakcheck.Analyzer,
 	maporder.Analyzer,
 	nondeterminism.Analyzer,
 	units.Analyzer,

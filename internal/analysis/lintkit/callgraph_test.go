@@ -139,3 +139,128 @@ func a() { b(); c() }
 		}
 	}
 }
+
+// A method value bound to a variable and a method value passed as an
+// argument are both edges — leakcheck's reachability leans on this when
+// a spawn target is laundered through an assignment.
+func TestCallGraphMethodValues(t *testing.T) {
+	sccs, g := buildGraph(t, `package p
+
+type T struct{ n int }
+
+func (t *T) work() { t.n++ }
+
+func apply(f func()) { f() }
+
+func Run(t *T) {
+	h := t.work
+	h()
+	apply(t.work)
+}
+`)
+	if !(indexOf(sccs, "work") < indexOf(sccs, "Run")) {
+		t.Errorf("work not before Run: %v", sccs)
+	}
+	for fn, callees := range g.Callees {
+		if fn.Name() != "Run" {
+			continue
+		}
+		var names []string
+		for _, c := range callees {
+			names = append(names, c.Name())
+		}
+		if len(names) != 2 {
+			t.Errorf("Run callees = %v, want work and apply", names)
+		}
+	}
+}
+
+// `go` on a method bound to a freshly built receiver is an edge to the
+// method declaration, exactly like a direct call.
+func TestCallGraphGoOnBoundMethod(t *testing.T) {
+	sccs, _ := buildGraph(t, `package p
+
+type worker struct{ done chan struct{} }
+
+func (w *worker) run() { close(w.done) }
+
+func Start() {
+	w := &worker{done: make(chan struct{})}
+	go w.run()
+	<-w.done
+}
+`)
+	if !(indexOf(sccs, "run") < indexOf(sccs, "Start")) {
+		t.Errorf("run not before Start: %v", sccs)
+	}
+}
+
+// A three-party recursion through methods and a free function collapses
+// into one component, ordered before its callers.
+func TestCallGraphMixedMutualRecursionSCC(t *testing.T) {
+	sccs, _ := buildGraph(t, `package p
+
+type walker struct{ depth int }
+
+func (w *walker) descend(n int) {
+	if n > 0 {
+		hop(w, n-1)
+	}
+}
+
+func hop(w *walker, n int) {
+	if n > 0 {
+		w.ascend(n - 1)
+	}
+}
+
+func (w *walker) ascend(n int) {
+	if n > 0 {
+		w.descend(n - 1)
+	}
+}
+
+func driver(w *walker) { w.descend(9) }
+`)
+	di, hi, ai := indexOf(sccs, "descend"), indexOf(sccs, "hop"), indexOf(sccs, "ascend")
+	if di != hi || hi != ai {
+		t.Errorf("descend/hop/ascend not in one component: %v", sccs)
+	}
+	if dr := indexOf(sccs, "driver"); dr <= di {
+		t.Errorf("driver not after the recursion component: %v", sccs)
+	}
+}
+
+// References inside function literals — including a literal spawned with
+// go, and a literal nested inside it — attribute to the enclosing
+// declaration.
+func TestCallGraphFuncLitSpawnSites(t *testing.T) {
+	sccs, g := buildGraph(t, `package p
+
+func helper() {}
+
+func deeper() {}
+
+func Launch() {
+	go func() {
+		helper()
+		inner := func() { deeper() }
+		inner()
+	}()
+}
+`)
+	if !(indexOf(sccs, "helper") < indexOf(sccs, "Launch")) {
+		t.Errorf("helper not before Launch: %v", sccs)
+	}
+	if !(indexOf(sccs, "deeper") < indexOf(sccs, "Launch")) {
+		t.Errorf("deeper not before Launch: %v", sccs)
+	}
+	for fn, callees := range g.Callees {
+		if fn.Name() != "Launch" {
+			continue
+		}
+		if len(callees) != 2 {
+			t.Errorf("Launch callees = %v, want helper and deeper", callees)
+		}
+	}
+}

@@ -135,6 +135,19 @@ type Stateful[V comparable] interface {
 	ExitState(fn ast.Node, state V)
 }
 
+// CommObserver is an optional Semantics extension for analyses that care
+// about channel operations with their *evaluated* operands — a channel
+// discipline checker wants the abstract value that reached `ch` in
+// `ch <- v`, which only the engine's environment knows (the channel may
+// have been bound by `ch := make(chan T, n)` several statements and
+// branches earlier). Send fires at every send statement, including those
+// used as a select's comm clause, after both operands have been
+// evaluated. Like every hook it may run more than once per statement
+// (loop fixpoints, branch arms), so clients deduplicate by position.
+type CommObserver[V comparable] interface {
+	Send(s *ast.SendStmt, ch V)
+}
+
 // Env maps variables to abstract values. Missing objects are Bottom.
 // It also carries the Stateful flow state, when the client uses one.
 type Env[V comparable] struct {
@@ -209,6 +222,8 @@ type Interp[V comparable] struct {
 	// last-synced value is always the current program point's.
 	st  Stateful[V]
 	cur V
+	// co is Sem's CommObserver view, nil when Sem does not implement it.
+	co CommObserver[V]
 }
 
 // State returns the flow state at the program point currently being
@@ -226,6 +241,9 @@ func (in *Interp[V]) Func(fn ast.Node) {
 func (in *Interp[V]) funcWith(fn ast.Node, env *Env[V]) {
 	if in.st == nil {
 		in.st, _ = in.Sem.(Stateful[V])
+	}
+	if in.co == nil {
+		in.co, _ = in.Sem.(CommObserver[V])
 	}
 	var ft *ast.FuncType
 	var body *ast.BlockStmt
@@ -577,8 +595,11 @@ func (fs *funcScope[V]) stmt(env *Env[V], s ast.Stmt) {
 	case *ast.DeferStmt:
 		fs.call(env, st.Call, deferCall)
 	case *ast.SendStmt:
-		fs.eval(env, st.Chan)
+		chv := fs.eval(env, st.Chan)
 		fs.eval(env, st.Value)
+		if fs.in.co != nil {
+			fs.in.co.Send(st, chv)
+		}
 	case *ast.IncDecStmt:
 		// x++ both reads and writes x: evaluate, then store, so write
 		// checks (guarded fields) fire alongside read checks. The engine

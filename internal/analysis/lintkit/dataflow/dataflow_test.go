@@ -678,3 +678,108 @@ func f(n int) {
 		t.Errorf("post-loop probe = %d, want 0", last)
 	}
 }
+
+// chanSem is a minimal domain for the CommObserver hook: make-calls
+// produce the tag cMade, everything else cUnknown. A Send observation
+// receiving cMade proves the engine handed the hook the *environment's*
+// value for the channel operand (bound statements earlier), not a
+// syntactic re-derivation.
+type chanSem struct {
+	sends map[token.Pos]int // send position -> observed channel tag
+}
+
+const (
+	cBottom  = 0
+	cUnknown = 1
+	cMade    = 2
+)
+
+func (s *chanSem) Bottom() int { return cBottom }
+func (s *chanSem) Join(a, b int) int {
+	if a == b || b == cBottom {
+		return a
+	}
+	if a == cBottom {
+		return b
+	}
+	return cUnknown
+}
+func (s *chanSem) Atom(e ast.Expr) int                                          { return cUnknown }
+func (s *chanSem) Unary(e *ast.UnaryExpr, x int) int                            { return cUnknown }
+func (s *chanSem) Binary(e *ast.BinaryExpr, x, y int) int                       { return cUnknown }
+func (s *chanSem) OpAssign(e *ast.AssignStmt, op token.Token, l, r int) int     { return cUnknown }
+func (s *chanSem) Index(e *ast.IndexExpr, x int) int                            { return cUnknown }
+func (s *chanSem) Result(call *ast.CallExpr, i int) int                         { return cUnknown }
+func (s *chanSem) Bind(lhs ast.Expr, obj types.Object, rhs ast.Expr, v int) int { return v }
+func (s *chanSem) Range(rs *ast.RangeStmt, x int) (int, int)                    { return cUnknown, cUnknown }
+func (s *chanSem) Composite(lit *ast.CompositeLit, kv *ast.KeyValueExpr, v int) {}
+func (s *chanSem) Enter(fn ast.Node, ft *ast.FuncType, env *dataflow.Env[int])  {}
+func (s *chanSem) Return(fn ast.Node, ret *ast.ReturnStmt, vals []int)          {}
+
+func (s *chanSem) Call(e *ast.CallExpr, eval dataflow.Eval[int]) int {
+	for _, a := range e.Args {
+		eval(a)
+	}
+	if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" {
+		return cMade
+	}
+	return cUnknown
+}
+
+// Send implements dataflow.CommObserver[int].
+func (s *chanSem) Send(st *ast.SendStmt, ch int) {
+	s.sends[st.Pos()] = ch
+}
+
+func TestCommObserverSeesEnvChannelValue(t *testing.T) {
+	src := `package p
+
+func f(param chan int) {
+	ch := make(chan int, 1)
+	ch <- 1
+	param <- 2
+	select {
+	case ch <- 3:
+	default:
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, info, err := lintkit.Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	sem := &chanSem{sends: map[token.Pos]int{}}
+	in := &dataflow.Interp[int]{Info: info, Sem: sem}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			in.Func(fd)
+		}
+	}
+	byLine := map[int]int{}
+	for pos, tag := range sem.sends {
+		byLine[fset.Position(pos).Line] = tag
+	}
+	want := map[int]int{
+		5: cMade,    // ch <- 1: env carries the make-binding
+		6: cUnknown, // param <- 2: unbound parameter falls back to Atom
+		8: cMade,    // select comm: same env value inside the clause
+	}
+	for line, tag := range want {
+		got, ok := byLine[line]
+		if !ok {
+			t.Errorf("no Send observation at line %d", line)
+			continue
+		}
+		if got != tag {
+			t.Errorf("line %d: observed tag %d, want %d", line, got, tag)
+		}
+	}
+	if len(byLine) != len(want) {
+		t.Errorf("observations = %v, want exactly lines 5, 6, 8", byLine)
+	}
+}

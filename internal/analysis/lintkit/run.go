@@ -5,6 +5,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Finding is one resolved diagnostic: positioned, attributed, and
@@ -46,13 +48,45 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 // are returned too, marked, so tooling (mheta-lint -json) can audit
 // what the ignore directives are hiding.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	return RunAllN(analyzers, pkgs, 1)
+}
+
+// RunAllN is RunAll with packages analyzed by a bounded pool of workers.
+// Packages are independent units (each analyzer run sees exactly one
+// package and the std export cache is already synchronized), so the only
+// shared state is the result slot per package. The merged output is
+// byte-identical for every worker count: findings are gathered per
+// package into indexed slots, concatenated in input order, and sorted by
+// the same total order the serial path uses. On analyzer error the
+// lowest-indexed package's error wins, again independent of scheduling.
+func RunAllN(analyzers []*Analyzer, pkgs []*Package, workers int) ([]Finding, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//mheta:lifecycle waitgroup
+		go func() {
+			defer wg.Done()
+			for i := int(next.Add(1)) - 1; i < len(pkgs); i = int(next.Add(1)) - 1 {
+				perPkg[i], errs[i] = runPackage(analyzers, pkgs[i])
+			}
+		}()
+	}
+	wg.Wait()
 	var findings []Finding
-	for _, pkg := range pkgs {
-		fs, err := runPackage(analyzers, pkg)
-		if err != nil {
-			return nil, err
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		findings = append(findings, fs...)
+		findings = append(findings, perPkg[i]...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -65,7 +99,10 @@ func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return findings, nil
 }
@@ -92,7 +129,7 @@ func runPackage(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
 			findings = append(findings, Finding{
 				Analyzer: "lintkit",
 				Pos:      pkg.Fset.Position(d.Pos),
-				Message:  fmt.Sprintf("unknown //mheta:%s directive (this suite defines //mheta:units, //mheta:guardedby, //mheta:atomic, //mheta:locks)", d.Name),
+				Message:  fmt.Sprintf("unknown //mheta:%s directive (this suite defines //mheta:units, //mheta:guardedby, //mheta:atomic, //mheta:locks, //mheta:lifecycle, //mheta:sendsafe)", d.Name),
 			})
 		}
 	}
@@ -124,12 +161,16 @@ func runPackage(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
 
 // mhetaDirectives is the closed set of annotation names the suite
 // defines: units (dimension facts), guardedby/atomic (field
-// concurrency discipline), locks (function locking contracts).
+// concurrency discipline), locks (function locking contracts),
+// lifecycle (goroutine termination mechanism), sendsafe (channel-send
+// discipline the analysis cannot see).
 var mhetaDirectives = map[string]bool{
 	"units":     true,
 	"guardedby": true,
 	"atomic":    true,
 	"locks":     true,
+	"lifecycle": true,
+	"sendsafe":  true,
 }
 
 // missingReason reports whether an ignore-style directive lacks its

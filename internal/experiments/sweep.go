@@ -78,6 +78,7 @@ func (r *Runner) fanOut(n int, job func(int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
+		//mheta:lifecycle waitgroup
 		go func(k int) {
 			defer wg.Done()
 			for i := k; i < n; i += w {

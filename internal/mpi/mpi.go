@@ -210,6 +210,7 @@ func (w *World) Run(fn func(r *Rank)) []vclock.Time {
 	panics := make([]any, w.Size())
 	for i := range w.ranks {
 		wg.Add(1)
+		//mheta:lifecycle waitgroup
 		go func(r *Rank) {
 			defer wg.Done()
 			defer func() {

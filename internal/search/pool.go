@@ -180,6 +180,7 @@ func (p *Pool) EvaluateBatchFromInto(out []float64, base dist.Distribution, ds [
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
+		//mheta:lifecycle waitgroup
 		go func(k int) {
 			defer wg.Done()
 			evalStrideFrom(p.evs[k], out, base, ds, k, w)

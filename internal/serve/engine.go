@@ -123,8 +123,8 @@ func (e *engine) build(s *Server) {
 	memo.SetLimit(s.cfg.MemoLimit)
 	e.memo = memo
 
-	s.wg.Add(1) // safe: s.wg is held >= 1 by this build goroutine
-	go e.batchLoop(s)
+	s.wg.Add(1)       // safe: s.wg is held >= 1 by this build goroutine
+	go e.batchLoop(s) //mheta:lifecycle waitgroup
 }
 
 // batchLoop is the engine's single batcher goroutine: it blocks for one

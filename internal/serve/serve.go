@@ -305,7 +305,7 @@ func (s *Server) engine(ctx context.Context, scen Scenario, spec cluster.Spec, a
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.mEngines.Inc()
-		go e.build(s)
+		go e.build(s) //mheta:lifecycle waitgroup
 	} else {
 		s.mu.Unlock()
 	}
